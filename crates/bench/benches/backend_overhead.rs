@@ -1,0 +1,39 @@
+//! Criterion harness behind Table 1's timing columns: per-backend analysis
+//! cost over identical pre-recorded traces of every benchmark model.
+//!
+//! Scale with `VELODROME_BENCH_SCALE` (default 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+use velodrome_bench::backend::{run_with_spec, Backend};
+use velodrome_bench::table1::exclusion_spec;
+
+fn backend_overhead(c: &mut Criterion) {
+    let scale: u32 = std::env::var("VELODROME_BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    for w in velodrome_workloads::all(scale) {
+        let trace = w.run_round_robin();
+        let spec = exclusion_spec(&w, &trace);
+        let mut group = c.benchmark_group(format!("table1/{}", w.name));
+        group
+            .throughput(Throughput::Elements(trace.len() as u64))
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_millis(600));
+        for backend in Backend::TABLE1 {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(backend.name()),
+                &backend,
+                |bench, &backend| {
+                    bench.iter(|| run_with_spec(backend, &trace, Some(spec.clone())))
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, backend_overhead);
+criterion_main!(benches);

@@ -1,0 +1,183 @@
+//! Uniform driver for the five back-end analyses compared in Table 1.
+
+use std::time::{Duration, Instant};
+use velodrome::{Velodrome, VelodromeConfig, VelodromeStats};
+use velodrome_atomizer::Atomizer;
+use velodrome_events::Trace;
+use velodrome_lockset::{Eraser, StrictTwoPhase};
+use velodrome_monitor::{run_tool, AtomicitySpec, EmptyTool, SpecFilter, Tool, Warning};
+use velodrome_vclock::HbRaceDetector;
+
+/// The analysis back-ends of Table 1 (plus the no-merge Velodrome variant
+/// used for the "Without Merge" columns, and the HB race detector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Instrumentation only; no analysis.
+    Empty,
+    /// Eraser lockset race detection.
+    Eraser,
+    /// Happens-before (vector clock) race detection.
+    HbRace,
+    /// The Atomizer reduction-based atomicity checker.
+    Atomizer,
+    /// Strict two-phase-locking conformance (sufficient-condition baseline).
+    S2pl,
+    /// Velodrome with all optimizations.
+    Velodrome,
+    /// Velodrome with the naive `[INS OUTSIDE]` rule (Figure 2).
+    VelodromeNoMerge,
+}
+
+impl Backend {
+    /// Every backend, in Table 1 column order.
+    pub const ALL: [Backend; 7] = [
+        Backend::Empty,
+        Backend::Eraser,
+        Backend::HbRace,
+        Backend::Atomizer,
+        Backend::S2pl,
+        Backend::Velodrome,
+        Backend::VelodromeNoMerge,
+    ];
+
+    /// The backends timed in the paper's Table 1.
+    pub const TABLE1: [Backend; 4] =
+        [Backend::Empty, Backend::Eraser, Backend::Atomizer, Backend::Velodrome];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Empty => "empty",
+            Backend::Eraser => "eraser",
+            Backend::HbRace => "hb-race",
+            Backend::Atomizer => "atomizer",
+            Backend::S2pl => "s2pl",
+            Backend::Velodrome => "velodrome",
+            Backend::VelodromeNoMerge => "velodrome-nomerge",
+        }
+    }
+}
+
+/// Result of running one backend over one trace.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Which backend ran.
+    pub backend: Backend,
+    /// Warnings produced.
+    pub warnings: Vec<Warning>,
+    /// Wall-clock analysis time.
+    pub elapsed: Duration,
+    /// Engine statistics (Velodrome variants only).
+    pub stats: Option<VelodromeStats>,
+}
+
+impl RunOutcome {
+    /// Analysis nanoseconds per trace operation.
+    pub fn ns_per_op(&self, trace_len: usize) -> f64 {
+        self.elapsed.as_nanos() as f64 / trace_len.max(1) as f64
+    }
+}
+
+fn velodrome_config(trace: &Trace, merge: bool) -> VelodromeConfig {
+    VelodromeConfig { merge, names: trace.names().clone(), ..VelodromeConfig::default() }
+}
+
+/// Runs `backend` over the whole trace, checking every atomic block.
+pub fn run(backend: Backend, trace: &Trace) -> RunOutcome {
+    run_with_spec(backend, trace, None)
+}
+
+/// Runs `backend` over the trace; with a spec, `begin`/`end` markers of
+/// excluded blocks are filtered first (the Table 1 configuration).
+pub fn run_with_spec(
+    backend: Backend,
+    trace: &Trace,
+    spec: Option<AtomicitySpec>,
+) -> RunOutcome {
+    fn timed<T: Tool>(
+        backend: Backend,
+        trace: &Trace,
+        spec: Option<AtomicitySpec>,
+        tool: T,
+        stats: impl FnOnce(&T) -> Option<VelodromeStats>,
+    ) -> RunOutcome {
+        match spec {
+            None => {
+                let mut tool = tool;
+                let start = Instant::now();
+                let warnings = run_tool(&mut tool, trace);
+                let elapsed = start.elapsed();
+                RunOutcome { backend, warnings, elapsed, stats: stats(&tool) }
+            }
+            Some(spec) => {
+                let mut filtered = SpecFilter::new(spec, tool);
+                let start = Instant::now();
+                let warnings = run_tool(&mut filtered, trace);
+                let elapsed = start.elapsed();
+                RunOutcome { backend, warnings, elapsed, stats: stats(filtered.inner()) }
+            }
+        }
+    }
+
+    match backend {
+        Backend::Empty => timed(backend, trace, spec, EmptyTool::new(), |_| None),
+        Backend::Eraser => timed(backend, trace, spec, Eraser::new(), |_| None),
+        Backend::HbRace => timed(backend, trace, spec, HbRaceDetector::new(), |_| None),
+        Backend::Atomizer => timed(backend, trace, spec, Atomizer::new(), |_| None),
+        Backend::S2pl => timed(backend, trace, spec, StrictTwoPhase::new(), |_| None),
+        Backend::Velodrome => {
+            let tool = Velodrome::with_config(velodrome_config(trace, true));
+            timed(backend, trace, spec, tool, |t| Some(t.stats()))
+        }
+        Backend::VelodromeNoMerge => {
+            let tool = Velodrome::with_config(velodrome_config(trace, false));
+            timed(backend, trace, spec, tool, |t| Some(t.stats()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use velodrome_events::TraceBuilder;
+
+    fn rmw_trace() -> Trace {
+        let mut b = TraceBuilder::new();
+        b.begin("T1", "inc").read("T1", "x");
+        b.write("T2", "x");
+        b.write("T1", "x").end("T1");
+        b.finish()
+    }
+
+    #[test]
+    fn all_backends_run() {
+        let trace = rmw_trace();
+        for backend in Backend::ALL {
+            let outcome = run(backend, &trace);
+            assert_eq!(outcome.backend, backend);
+            assert!(outcome.ns_per_op(trace.len()) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn velodrome_variants_agree_and_expose_stats() {
+        let trace = rmw_trace();
+        let merged = run(Backend::Velodrome, &trace);
+        let unmerged = run(Backend::VelodromeNoMerge, &trace);
+        assert_eq!(merged.warnings.len(), 1);
+        assert_eq!(unmerged.warnings.len(), 1);
+        assert!(merged.stats.is_some());
+        assert!(
+            unmerged.stats.unwrap().nodes_allocated >= merged.stats.unwrap().nodes_allocated
+        );
+    }
+
+    #[test]
+    fn spec_exclusion_silences_the_block() {
+        let trace = rmw_trace();
+        let label = velodrome_events::Label::new(0);
+        let spec = AtomicitySpec::excluding([label]);
+        let outcome = run_with_spec(Backend::Velodrome, &trace, Some(spec));
+        assert!(outcome.warnings.is_empty());
+    }
+}

@@ -1,0 +1,41 @@
+//! Regenerates the node-statistics columns of Table 1 in isolation
+//! (Allocated / Max Alive, Without Merge vs With Merge).
+//!
+//! Usage: `cargo run --release -p velodrome-bench --bin graph_stats [--scale=8]`
+
+use velodrome_bench::arg_u64;
+use velodrome_bench::backend::{run_with_spec, Backend};
+use velodrome_bench::report;
+use velodrome_bench::table1::exclusion_spec;
+
+fn main() {
+    let scale = arg_u64("scale", 8) as u32;
+    eprintln!("Graph statistics at scale={scale}");
+    let mut rows = Vec::new();
+    for w in velodrome_workloads::all(scale) {
+        let trace = w.run_round_robin();
+        let spec = exclusion_spec(&w, &trace);
+        let without = run_with_spec(Backend::VelodromeNoMerge, &trace, Some(spec.clone()))
+            .stats
+            .expect("stats");
+        let with = run_with_spec(Backend::Velodrome, &trace, Some(spec))
+            .stats
+            .expect("stats");
+        rows.push(vec![
+            w.name.to_string(),
+            report::count(trace.len() as u64),
+            report::count(without.nodes_allocated),
+            report::count(without.max_alive),
+            report::count(with.nodes_allocated),
+            report::count(with.max_alive),
+            report::count(with.collected),
+        ]);
+    }
+    println!(
+        "{}",
+        report::table(
+            &["program", "events", "alloc w/o merge", "alive", "alloc w/ merge", "alive", "collected"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,56 @@
+//! Compares adversarial pausing policies (Section 5: "We are exploring a
+//! number of other scheduling policies, such as pausing writes but not
+//! reads, allowing some threads to never pause, and so on").
+//!
+//! Usage: `cargo run --release -p velodrome-bench --bin policies [--scale=1] [--seeds=10] [--pause=400]`
+
+use velodrome_atomizer::AdvisorConfig;
+use velodrome_bench::injection::{baseline_labels, detection_rate, SchedulerFactory};
+use velodrome_bench::{arg_u64, report};
+use velodrome_events::ThreadId;
+use velodrome_sim::{RandomScheduler, Scheduler};
+use velodrome_workloads::adversarial::{
+    adversarial_scheduler, adversarial_scheduler_exempting, adversarial_scheduler_with,
+};
+
+fn main() {
+    let scale = arg_u64("scale", 1) as u32;
+    let seeds = arg_u64("seeds", 10);
+    let pause = arg_u64("pause", 400);
+    eprintln!("Pausing-policy comparison on elevator: scale={scale}, {seeds} seeds, pause={pause}");
+
+    let w = velodrome_workloads::build("elevator", scale).expect("elevator model");
+
+    let plain: SchedulerFactory<'_> = &|seed| Box::new(RandomScheduler::new(seed));
+    let writes: SchedulerFactory<'_> =
+        &move |seed| Box::new(adversarial_scheduler(seed, pause)) as Box<dyn Scheduler>;
+    let writes_reads: SchedulerFactory<'_> = &move |seed| {
+        Box::new(adversarial_scheduler_with(
+            seed,
+            pause,
+            AdvisorConfig { delay_rmw_writes: true, delay_racy_reads: true },
+        ))
+    };
+    let exempt: SchedulerFactory<'_> = &move |seed| {
+        Box::new(adversarial_scheduler_exempting(seed, pause, [ThreadId::new(1)]))
+    };
+
+    let policies: [(&str, SchedulerFactory<'_>); 4] = [
+        ("no pausing (plain random)", plain),
+        ("pause RMW writes (default)", writes),
+        ("pause writes + racy reads", writes_reads),
+        ("pause writes, worker-1 exempt", exempt),
+    ];
+
+    let baseline = baseline_labels(&w, seeds, &[plain, writes, writes_reads, exempt]);
+    let mut rows = Vec::new();
+    for (name, make) in policies {
+        let (hits, runs) = detection_rate(&w, seeds, &baseline, make);
+        rows.push(vec![
+            name.to_string(),
+            format!("{hits}/{runs}"),
+            format!("{:.0}%", 100.0 * hits as f64 / runs.max(1) as f64),
+        ]);
+    }
+    println!("{}", report::table(&["policy", "detections", "rate"], &rows));
+}

@@ -1,0 +1,17 @@
+//! Regenerates Table 1: backend overheads and node statistics.
+//!
+//! Usage: `cargo run --release -p velodrome-bench --bin table1 [--scale=8] [--repeats=3]`
+
+use velodrome_bench::{arg_u64, table1};
+
+fn main() {
+    let scale = arg_u64("scale", 8) as u32;
+    let repeats = arg_u64("repeats", 3) as u32;
+    eprintln!("Table 1: scale={scale}, repeats={repeats} (methods known non-atomic excluded)");
+    let rows = table1::run_table1(scale, repeats);
+    println!("{}", table1::render(&rows));
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&rows).expect("rows serialize")
+    );
+}

@@ -1,0 +1,17 @@
+//! Regenerates Table 2: warnings under the all-methods-atomic assumption.
+//!
+//! Usage: `cargo run --release -p velodrome-bench --bin table2 [--scale=2] [--runs=5]`
+
+use velodrome_bench::{arg_u64, table2};
+
+fn main() {
+    let scale = arg_u64("scale", 2) as u32;
+    let runs = arg_u64("runs", 5);
+    eprintln!("Table 2: scale={scale}, {runs} runs per benchmark, all methods assumed atomic");
+    let rows = table2::run_table2(scale, runs);
+    println!("{}", table2::render(&rows));
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&rows).expect("rows serialize")
+    );
+}

@@ -1,0 +1,38 @@
+//! Benchmark and experiment harness regenerating the paper's evaluation.
+//!
+//! * [`backend`] — a uniform driver over the compared back-ends
+//!   (Empty, Eraser, HB race detection, Atomizer, Velodrome with and
+//!   without merge);
+//! * [`table1`] — analysis overhead and node statistics (paper Table 1);
+//! * [`table2`] — warning counts and false-alarm classification against
+//!   ground truth (paper Table 2);
+//! * [`injection`] — the defect-injection / adversarial-scheduling study
+//!   (Section 6);
+//! * [`report`] — plain-text table rendering.
+//!
+//! Binaries `table1`, `table2`, `injection`, and `graph_stats` print the
+//! paper-style tables; `cargo bench -p velodrome-bench` runs the Criterion
+//! timing harness behind Table 1's performance columns.
+
+pub mod backend;
+pub mod injection;
+pub mod report;
+pub mod table1;
+pub mod table2;
+
+/// Reads a `NAME=value` style `u64` argument from the process arguments
+/// (`--scale=4`), falling back to `default`.
+pub fn arg_u64(name: &str, default: u64) -> u64 {
+    let prefix = format!("--{name}=");
+    std::env::args()
+        .find_map(|a| a.strip_prefix(&prefix).and_then(|v| v.parse().ok()))
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn arg_parsing_falls_back_to_default() {
+        assert_eq!(super::arg_u64("nonexistent-flag", 7), 7);
+    }
+}

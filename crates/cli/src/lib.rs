@@ -1,0 +1,438 @@
+//! Command-line front end for the Velodrome checker.
+//!
+//! Mirrors the prototype's usage: "takes as input a compiled Java program
+//! and a specification of which methods should be atomic, and reports an
+//! error whenever it observes a non-serializable trace" — here the input is
+//! a benchmark model or a recorded trace file.
+//!
+//! ```text
+//! velodrome list
+//! velodrome check <workload> [--scale=N] [--seed=S] [--backend=NAME] [--dot] [--adversarial]
+//! velodrome record <workload> --out=FILE [--scale=N] [--seed=S]
+//! velodrome trace <FILE> [--backend=NAME] [--dot]
+//! velodrome oracle <FILE>
+//! velodrome info <workload|FILE> [--scale=N] [--seed=S]
+//! velodrome replay <workload> <FILE> [--scale=N]
+//! velodrome compare <workload|FILE> [--scale=N] [--seed=S]
+//! ```
+
+use std::fmt::Write as _;
+use velodrome::{Velodrome, VelodromeConfig};
+use velodrome_atomizer::Atomizer;
+use velodrome_events::{oracle, Trace, TraceStats};
+use velodrome_lockset::Eraser;
+use velodrome_monitor::{run_tool, Warning};
+use velodrome_sim::{run_program, RandomScheduler};
+use velodrome_vclock::HbRaceDetector;
+use velodrome_workloads::adversarial::adversarial_scheduler;
+
+/// A user/usage error with a message suitable for stderr.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Parsed command-line options.
+#[derive(Debug, Default)]
+struct Options {
+    positional: Vec<String>,
+    scale: u32,
+    seed: u64,
+    backend: String,
+    out: Option<String>,
+    dot: bool,
+    adversarial: bool,
+    no_merge: bool,
+    no_gc: bool,
+    json: bool,
+}
+
+fn parse(args: &[String]) -> Result<Options, CliError> {
+    let mut o = Options { scale: 1, seed: 0, backend: "velodrome".into(), ..Default::default() };
+    for a in args {
+        if let Some(v) = a.strip_prefix("--scale=") {
+            o.scale = v.parse().map_err(|_| err(format!("bad --scale: {v}")))?;
+        } else if let Some(v) = a.strip_prefix("--seed=") {
+            o.seed = v.parse().map_err(|_| err(format!("bad --seed: {v}")))?;
+        } else if let Some(v) = a.strip_prefix("--backend=") {
+            o.backend = v.to_owned();
+        } else if let Some(v) = a.strip_prefix("--out=") {
+            o.out = Some(v.to_owned());
+        } else if a == "--dot" {
+            o.dot = true;
+        } else if a == "--adversarial" {
+            o.adversarial = true;
+        } else if a == "--no-merge" {
+            o.no_merge = true;
+        } else if a == "--no-gc" {
+            o.no_gc = true;
+        } else if a == "--json" {
+            o.json = true;
+        } else if a.starts_with("--") {
+            return Err(err(format!("unknown flag: {a}")));
+        } else {
+            o.positional.push(a.clone());
+        }
+    }
+    Ok(o)
+}
+
+/// Usage text.
+pub const USAGE: &str = "usage:
+  velodrome list
+  velodrome check <workload> [--scale=N] [--seed=S] [--backend=NAME] [--dot] [--adversarial]
+  velodrome record <workload> --out=FILE [--scale=N] [--seed=S]
+  velodrome trace <FILE> [--backend=NAME] [--dot]
+  velodrome oracle <FILE>
+  velodrome info <workload|FILE> [--scale=N] [--seed=S]
+  velodrome replay <workload> <FILE> [--scale=N]
+  velodrome compare <workload|FILE> [--scale=N] [--seed=S]
+backends: velodrome (default), atomizer, eraser, hb-race, fasttrack, s2pl, all
+velodrome flags: --no-merge (naive Figure 2 rule), --no-gc
+output flags: --dot (error graphs), --json (machine-readable warnings)";
+
+/// Executes a CLI invocation, returning the text to print on stdout.
+pub fn execute(args: &[String]) -> Result<String, CliError> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(err(USAGE));
+    };
+    let opts = parse(rest)?;
+    match cmd.as_str() {
+        "list" => Ok(list()),
+        "check" => check(&opts),
+        "record" => record(&opts),
+        "trace" => trace_cmd(&opts),
+        "oracle" => oracle_cmd(&opts),
+        "info" => info(&opts),
+        "replay" => replay(&opts),
+        "compare" => compare(&opts),
+        other => Err(err(format!("unknown command `{other}`\n{USAGE}"))),
+    }
+}
+
+fn list() -> String {
+    let mut out = String::new();
+    for w in velodrome_workloads::all(1) {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>7} lines  {} truly non-atomic methods  — {}",
+            w.name,
+            w.paper_lines,
+            w.non_atomic.len(),
+            w.description
+        );
+    }
+    out
+}
+
+fn load_workload(opts: &Options) -> Result<velodrome_workloads::Workload, CliError> {
+    let name = opts.positional.first().ok_or_else(|| err(USAGE))?;
+    velodrome_workloads::build(name, opts.scale)
+        .ok_or_else(|| err(format!("unknown workload `{name}`; try `velodrome list`")))
+}
+
+fn produce_trace(opts: &Options) -> Result<Trace, CliError> {
+    let w = load_workload(opts)?;
+    let result = if opts.adversarial {
+        run_program(&w.program, adversarial_scheduler(opts.seed, 400))
+    } else {
+        run_program(&w.program, RandomScheduler::new(opts.seed))
+    };
+    if result.deadlocked {
+        return Err(err(format!("workload {} deadlocked", w.name)));
+    }
+    Ok(result.trace)
+}
+
+fn analyze(trace: &Trace, opts: &Options) -> Result<Vec<Warning>, CliError> {
+    let velodrome = |trace: &Trace| {
+        let cfg = VelodromeConfig {
+            names: trace.names().clone(),
+            merge: !opts.no_merge,
+            gc: !opts.no_gc,
+            ..VelodromeConfig::default()
+        };
+        run_tool(&mut Velodrome::with_config(cfg), trace)
+    };
+    Ok(match opts.backend.as_str() {
+        "velodrome" => velodrome(trace),
+        "atomizer" => run_tool(&mut Atomizer::new(), trace),
+        "eraser" => run_tool(&mut Eraser::new(), trace),
+        "hb-race" => run_tool(&mut HbRaceDetector::new(), trace),
+        "fasttrack" => run_tool(&mut velodrome_vclock::FastTrack::new(), trace),
+        "s2pl" => run_tool(&mut velodrome_lockset::StrictTwoPhase::new(), trace),
+        "all" => {
+            let mut all = velodrome(trace);
+            all.extend(run_tool(&mut Atomizer::new(), trace));
+            all.extend(run_tool(&mut Eraser::new(), trace));
+            all.extend(run_tool(&mut HbRaceDetector::new(), trace));
+            all.sort_by_key(|w| w.op_index);
+            all
+        }
+        other => return Err(err(format!("unknown backend `{other}`\n{USAGE}"))),
+    })
+}
+
+fn info(opts: &Options) -> Result<String, CliError> {
+    // Accept a workload name or a recorded trace file.
+    let arg = opts.positional.first().ok_or_else(|| err(USAGE))?;
+    let trace = if velodrome_workloads::build(arg, 1).is_some() {
+        produce_trace(opts)?
+    } else {
+        load_trace(opts)?
+    };
+    Ok(format!("{}\n", TraceStats::compute(&trace)))
+}
+
+fn replay(opts: &Options) -> Result<String, CliError> {
+    use velodrome_sim::ReplayScheduler;
+    let w = load_workload(opts)?;
+    let path = opts.positional.get(1).ok_or_else(|| err(USAGE))?;
+    let json = std::fs::read_to_string(path).map_err(|e| err(format!("reading {path}: {e}")))?;
+    let recording = Trace::from_json(&json).map_err(|e| err(format!("parsing {path}: {e}")))?;
+    let mut replayer = ReplayScheduler::new(&recording);
+    let result = run_program(&w.program, &mut replayer);
+    if replayer.diverged() {
+        return Err(err(format!(
+            "replay diverged after {} of {} recorded events — the program does not \
+             match the recording",
+            replayer.replayed(),
+            recording.len()
+        )));
+    }
+    let mut out = format!(
+        "replayed {} recorded events deterministically\n",
+        replayer.replayed()
+    );
+    let warnings = analyze(&result.trace, opts)?;
+    out.push_str(&render_warnings(&result.trace, &warnings, opts.dot));
+    Ok(out)
+}
+
+fn compare(opts: &Options) -> Result<String, CliError> {
+    let arg = opts.positional.first().ok_or_else(|| err(USAGE))?;
+    let trace = if velodrome_workloads::build(arg, 1).is_some() {
+        produce_trace(opts)?
+    } else {
+        load_trace(opts)?
+    };
+    let mut out = format!("{} events; warnings per tool:\n", trace.len());
+    for backend in ["velodrome", "atomizer", "s2pl", "eraser", "hb-race", "fasttrack"] {
+        let start = std::time::Instant::now();
+        let mut o = Options { backend: backend.into(), ..Default::default() };
+        o.no_merge = opts.no_merge;
+        o.no_gc = opts.no_gc;
+        let warnings = analyze(&trace, &o)?;
+        let elapsed = start.elapsed();
+        let _ = writeln!(
+            out,
+            "  {backend:<10} {:>4} warnings   {:>8.2?}",
+            warnings.len(),
+            elapsed
+        );
+    }
+    Ok(out)
+}
+
+fn render_warnings(trace: &Trace, warnings: &[Warning], dot: bool) -> String {
+    let mut out = String::new();
+    if warnings.is_empty() {
+        let _ = writeln!(out, "no warnings: every observed transaction is serializable");
+    }
+    for w in warnings {
+        let _ = writeln!(out, "{w}");
+        if dot {
+            if let Some(details) = &w.details {
+                let _ = writeln!(out, "{details}");
+            }
+        }
+    }
+    let _ = writeln!(out, "({} events analyzed)", trace.len());
+    out
+}
+
+fn check(opts: &Options) -> Result<String, CliError> {
+    let trace = produce_trace(opts)?;
+    let warnings = analyze(&trace, opts)?;
+    if opts.json {
+        return Ok(format!(
+            "{}\n",
+            serde_json::to_string_pretty(&warnings).expect("warnings serialize")
+        ));
+    }
+    Ok(render_warnings(&trace, &warnings, opts.dot))
+}
+
+fn record(opts: &Options) -> Result<String, CliError> {
+    let trace = produce_trace(opts)?;
+    let path = opts.out.as_deref().ok_or_else(|| err("record requires --out=FILE"))?;
+    std::fs::write(path, trace.to_json()).map_err(|e| err(format!("writing {path}: {e}")))?;
+    Ok(format!("recorded {} events to {path}\n", trace.len()))
+}
+
+fn load_trace(opts: &Options) -> Result<Trace, CliError> {
+    let path = opts.positional.first().ok_or_else(|| err(USAGE))?;
+    let json =
+        std::fs::read_to_string(path).map_err(|e| err(format!("reading {path}: {e}")))?;
+    Trace::from_json(&json).map_err(|e| err(format!("parsing {path}: {e}")))
+}
+
+fn trace_cmd(opts: &Options) -> Result<String, CliError> {
+    let trace = load_trace(opts)?;
+    let warnings = analyze(&trace, opts)?;
+    Ok(render_warnings(&trace, &warnings, opts.dot))
+}
+
+fn oracle_cmd(opts: &Options) -> Result<String, CliError> {
+    let trace = load_trace(opts)?;
+    let result = oracle::check(&trace);
+    Ok(if result.serializable {
+        "serializable: an equivalent serial trace exists\n".to_owned()
+    } else {
+        format!(
+            "NOT serializable: witness cycle of {} transactions\n",
+            result.cycle.map(|c| c.len()).unwrap_or(0)
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(args: &[&str]) -> Result<String, CliError> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        execute(&owned)
+    }
+
+    #[test]
+    fn list_names_all_benchmarks() {
+        let out = run(&["list"]).unwrap();
+        for name in velodrome_workloads::NAMES {
+            assert!(out.contains(name), "{name} missing from list");
+        }
+    }
+
+    #[test]
+    fn check_multiset_reports_defects() {
+        let out = run(&["check", "multiset", "--seed=1"]).unwrap();
+        assert!(out.contains("is not atomic"), "{out}");
+    }
+
+    #[test]
+    fn check_raja_is_clean() {
+        let out = run(&["check", "raja"]).unwrap();
+        assert!(out.contains("no warnings"), "{out}");
+    }
+
+    #[test]
+    fn dot_flag_includes_graph() {
+        let out = run(&["check", "multiset", "--dot"]).unwrap();
+        assert!(out.contains("digraph"), "{out}");
+    }
+
+    #[test]
+    fn backend_selection_works() {
+        let out = run(&["check", "jbb", "--backend=atomizer"]).unwrap();
+        assert!(out.contains("atomizer"), "{out}");
+        let all = run(&["check", "jbb", "--backend=all"]).unwrap();
+        assert!(all.contains("atomizer") || all.contains("eraser"), "{all}");
+    }
+
+    #[test]
+    fn record_and_replay_roundtrip() {
+        let dir = std::env::temp_dir().join("velodrome-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("multiset.json");
+        let path_str = path.to_str().unwrap();
+        let out = run(&["record", "multiset", &format!("--out={path_str}")]).unwrap();
+        assert!(out.contains("recorded"), "{out}");
+        let replay = run(&["trace", path_str]).unwrap();
+        assert!(replay.contains("is not atomic"), "{replay}");
+        let oracle_out = run(&["oracle", path_str]).unwrap();
+        assert!(oracle_out.contains("NOT serializable"), "{oracle_out}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn replay_reproduces_recorded_violation() {
+        let dir = std::env::temp_dir().join("velodrome-cli-replay");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rec.json");
+        let path_str = path.to_str().unwrap();
+        // Find a seed whose run shows the violation, record it, replay it.
+        let rec = run(&["record", "multiset", "--seed=1", &format!("--out={path_str}")]).unwrap();
+        assert!(rec.contains("recorded"));
+        let out = run(&["replay", "multiset", path_str]).unwrap();
+        assert!(out.contains("replayed"), "{out}");
+        assert!(out.contains("is not atomic"), "{out}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run(&["check", "nonesuch"]).is_err());
+        assert!(run(&["frobnicate"]).is_err());
+        assert!(run(&["check", "multiset", "--backend=nope"]).is_err());
+        assert!(run(&["check", "multiset", "--bogus"]).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn info_reports_stats() {
+        let out = run(&["info", "multiset"]).unwrap();
+        assert!(out.contains("transactions"), "{out}");
+        assert!(out.contains("threads"), "{out}");
+    }
+
+    #[test]
+    fn no_merge_flag_still_detects() {
+        let out = run(&["check", "multiset", "--no-merge", "--seed=1"]).unwrap();
+        assert!(out.contains("is not atomic"), "{out}");
+    }
+
+    #[test]
+    fn fasttrack_backend_runs() {
+        let out = run(&["check", "tsp", "--backend=fasttrack"]).unwrap();
+        assert!(out.contains("events analyzed"), "{out}");
+    }
+
+    #[test]
+    fn s2pl_backend_flags_sufficient_condition_violations() {
+        let out = run(&["check", "multiset", "--backend=s2pl"]).unwrap();
+        assert!(out.contains("strict two-phase"), "{out}");
+    }
+
+    #[test]
+    fn compare_lists_all_tools() {
+        let out = run(&["compare", "jbb"]).unwrap();
+        for tool in ["velodrome", "atomizer", "s2pl", "eraser", "hb-race", "fasttrack"] {
+            assert!(out.contains(tool), "missing {tool}: {out}");
+        }
+    }
+
+    #[test]
+    fn json_output_is_machine_readable() {
+        let out = run(&["check", "multiset", "--seed=1", "--json"]).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert!(parsed.as_array().is_some_and(|a| !a.is_empty()), "{out}");
+        assert_eq!(parsed[0]["tool"], "velodrome");
+        assert_eq!(parsed[0]["category"], "atomicity");
+    }
+
+    #[test]
+    fn adversarial_flag_runs() {
+        let out = run(&["check", "elevator", "--adversarial"]).unwrap();
+        assert!(out.contains("events analyzed"), "{out}");
+    }
+}

@@ -1,0 +1,12 @@
+//! The `velodrome` command-line tool.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match velodrome_cli::execute(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

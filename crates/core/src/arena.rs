@@ -1,0 +1,658 @@
+//! The transaction-node arena: allocation, recycling, happens-before edges,
+//! ancestor sets, and reference-counting garbage collection.
+//!
+//! This is the data-representation core of Section 4.1 and Section 5:
+//!
+//! * Nodes live in recyclable *slots*; a step `(slot, ts)` is stale once the
+//!   slot's incarnation that issued `ts` has been collected (tracked by a
+//!   per-slot timestamp floor) and is then interpreted as `⊥`.
+//! * At most one happens-before edge is stored per ordered node pair; adding
+//!   another replaces its timestamps (the paper's `H ⊎ G` operator), which
+//!   bounds `|H|` by `|Node|²`.
+//! * Each node keeps its set of (alive) ancestors, so a cycle-creating edge
+//!   is detected *before* insertion; the graph therefore stays acyclic and
+//!   plain reference counting collects garbage immediately.
+//! * A node is collected once it is finished (not any thread's current
+//!   transaction) and has no incoming edges: such a node can never again
+//!   appear on a cycle. Collection cascades: removing the node's outgoing
+//!   edges may render its successors collectible.
+
+use crate::step::{SlotIdx, Step, Ts};
+use std::collections::{HashMap, HashSet};
+use velodrome_events::{Label, Op, ThreadId};
+
+/// A happens-before edge between two nodes, annotated with the timestamps of
+/// the operations at its tail and head and the operation that generated it
+/// (for blame assignment and error graphs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeInfo {
+    /// Timestamp of the tail operation inside the source node.
+    pub from_ts: Ts,
+    /// Timestamp of the head operation inside the target node.
+    pub to_ts: Ts,
+    /// The operation whose processing created the edge.
+    pub op: Op,
+    /// Trace index of that operation.
+    pub op_index: usize,
+}
+
+/// Metadata describing one node (transaction) for error reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeDesc {
+    /// The thread executing the transaction.
+    pub thread: ThreadId,
+    /// Label of the transaction's outermost atomic block, if any.
+    pub label: Option<Label>,
+    /// Trace index of the transaction's first operation.
+    pub first_op: usize,
+}
+
+#[derive(Debug)]
+struct Slot {
+    alive: bool,
+    /// Steps with `ts <= floor` belong to collected incarnations.
+    floor: Ts,
+    /// Last timestamp issued; monotonic across incarnations.
+    counter: Ts,
+    /// Whether the node is some thread's current transaction.
+    c_ref: bool,
+    desc: NodeDesc,
+    /// Outgoing edges, keyed by target slot.
+    out: HashMap<SlotIdx, EdgeInfo>,
+    /// Incoming edges, keyed by source slot.
+    inc: HashMap<SlotIdx, EdgeInfo>,
+    /// Alive nodes with a path to this node.
+    anc: HashSet<SlotIdx>,
+}
+
+impl Slot {
+    fn collectible(&self) -> bool {
+        self.alive && !self.c_ref && self.inc.is_empty()
+    }
+}
+
+/// Statistics reported in Table 1 of the paper (node counts) plus internal
+/// counters used by the ablation benchmarks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Total nodes ever allocated ("Allocated" in Table 1).
+    pub allocated: u64,
+    /// Peak simultaneously-alive nodes ("Max. Alive" in Table 1).
+    pub max_alive: u64,
+    /// Currently alive nodes.
+    pub cur_alive: u64,
+    /// Nodes reclaimed by garbage collection.
+    pub collected: u64,
+    /// Edges inserted (not counting timestamp replacements).
+    pub edges_added: u64,
+    /// Edge insertions that only refreshed timestamps of an existing edge.
+    pub edges_replaced: u64,
+}
+
+/// Result of attempting to add a happens-before edge that would close a
+/// cycle. The edge is *not* added; the graph stays acyclic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleFound {
+    /// Source node of the rejected edge.
+    pub from: SlotIdx,
+    /// Tail timestamp of the rejected edge.
+    pub from_ts: Ts,
+    /// Target node of the rejected edge (the current transaction).
+    pub to: SlotIdx,
+    /// Head timestamp of the rejected edge.
+    pub to_ts: Ts,
+}
+
+/// The node arena.
+#[derive(Debug, Default)]
+pub struct Arena {
+    slots: Vec<Slot>,
+    free: Vec<SlotIdx>,
+    stats: ArenaStats,
+    gc_enabled: bool,
+}
+
+impl Arena {
+    /// Creates an arena with garbage collection enabled.
+    pub fn new() -> Self {
+        Self::with_gc(true)
+    }
+
+    /// Creates an arena, optionally disabling garbage collection (used by
+    /// the GC ablation benchmark; without GC the arena holds every node
+    /// ever allocated, up to the 16-bit slot limit).
+    pub fn with_gc(gc_enabled: bool) -> Self {
+        Self { slots: Vec::new(), free: Vec::new(), stats: ArenaStats::default(), gc_enabled }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> ArenaStats {
+        self.stats
+    }
+
+    /// Allocates a fresh node and returns the step of its first operation.
+    ///
+    /// `current` marks the node as a thread's current transaction (a strong
+    /// reference); merge-created nodes pass `false`.
+    pub fn alloc(&mut self, desc: NodeDesc, current: bool) -> Step {
+        let idx = match self.free.pop() {
+            Some(idx) => idx,
+            None => {
+                assert!(
+                    self.slots.len() <= SlotIdx::MAX as usize,
+                    "node arena exhausted: more than 65536 simultaneously-live \
+                     transactions (is garbage collection disabled on a large trace?)"
+                );
+                let idx = self.slots.len() as SlotIdx;
+                self.slots.push(Slot {
+                    alive: false,
+                    floor: 0,
+                    counter: 0,
+                    c_ref: false,
+                    desc: desc.clone(),
+                    out: HashMap::new(),
+                    inc: HashMap::new(),
+                    anc: HashSet::new(),
+                });
+                idx
+            }
+        };
+        let slot = &mut self.slots[idx as usize];
+        debug_assert!(!slot.alive, "allocating an alive slot");
+        slot.alive = true;
+        slot.c_ref = current;
+        slot.desc = desc;
+        slot.out.clear();
+        slot.inc.clear();
+        slot.anc.clear();
+        slot.counter += 1;
+        self.stats.allocated += 1;
+        self.stats.cur_alive += 1;
+        self.stats.max_alive = self.stats.max_alive.max(self.stats.cur_alive);
+        Step::new(idx, slot.counter)
+    }
+
+    /// Issues the next timestamp within an alive node.
+    pub fn bump(&mut self, idx: SlotIdx) -> Step {
+        let slot = &mut self.slots[idx as usize];
+        debug_assert!(slot.alive, "bump of dead slot");
+        slot.counter += 1;
+        Step::new(idx, slot.counter)
+    }
+
+    /// Resolves a (weak) step reference: returns `Step::NONE` if the step is
+    /// `⊥`, or refers to a collected incarnation of its slot.
+    pub fn resolve(&self, step: Step) -> Step {
+        match step.slot() {
+            None => Step::NONE,
+            Some(idx) => {
+                let slot = &self.slots[idx as usize];
+                let ts = step.ts().expect("non-none step has ts");
+                if slot.alive && ts > slot.floor {
+                    step
+                } else {
+                    Step::NONE
+                }
+            }
+        }
+    }
+
+    /// Returns `true` when the node is alive.
+    pub fn is_alive(&self, idx: SlotIdx) -> bool {
+        self.slots[idx as usize].alive
+    }
+
+    /// Returns `true` when the node is some thread's current transaction.
+    ///
+    /// Only current (and freshly allocated) nodes can ever gain incoming
+    /// edges, so merging a unary operation into a *current* node of another
+    /// thread is unsafe: a later conflicting edge back into that node would
+    /// be a filtered self-edge and a real two-transaction cycle would go
+    /// undetected.
+    pub fn is_current(&self, idx: SlotIdx) -> bool {
+        self.slots[idx as usize].c_ref
+    }
+
+    /// Descriptor of an alive node.
+    pub fn desc(&self, idx: SlotIdx) -> &NodeDesc {
+        &self.slots[idx as usize].desc
+    }
+
+    /// Does `a` happen (non-strictly) before `b`?
+    ///
+    /// Steps within one node are ordered by timestamp; across nodes the
+    /// question is ancestry in the happens-before graph. Both steps must be
+    /// resolved (alive) or `⊥`; `⊥` never happens-before anything.
+    pub fn happens_before(&self, a: Step, b: Step) -> bool {
+        let (Some(na), Some(nb)) = (a.slot(), b.slot()) else {
+            return false;
+        };
+        if na == nb {
+            return a.ts() <= b.ts();
+        }
+        self.slots[nb as usize].anc.contains(&na)
+    }
+
+    /// Adds (or refreshes) the happens-before edge `from → to`.
+    ///
+    /// Returns `Ok(true)` when an edge was inserted or refreshed,
+    /// `Ok(false)` when the edge was skipped (a `⊥`/stale endpoint or a
+    /// self-edge), and `Err(CycleFound)` when insertion would create a
+    /// cycle — in which case the graph is left unchanged.
+    pub fn add_edge(
+        &mut self,
+        from: Step,
+        to: Step,
+        op: Op,
+        op_index: usize,
+    ) -> Result<bool, CycleFound> {
+        let from = self.resolve(from);
+        let (Some((nf, tf)), Some((nt, tt))) = (
+            from.is_some().then(|| from.unpack()),
+            to.is_some().then(|| to.unpack()),
+        ) else {
+            return Ok(false);
+        };
+        if nf == nt {
+            return Ok(false);
+        }
+        // Edge nf → nt closes a cycle iff a path nt →* nf already exists.
+        if self.slots[nf as usize].anc.contains(&nt) {
+            return Err(CycleFound { from: nf, from_ts: tf, to: nt, to_ts: tt });
+        }
+        let info = EdgeInfo { from_ts: tf, to_ts: tt, op, op_index };
+        let existing = self.slots[nf as usize].out.insert(nt, info).is_some();
+        self.slots[nt as usize].inc.insert(nf, info);
+        if existing {
+            self.stats.edges_replaced += 1;
+            return Ok(true);
+        }
+        self.stats.edges_added += 1;
+        // Propagate ancestors: nt (and its descendants) gain anc(nf) ∪ {nf}.
+        let mut gained: Vec<SlotIdx> =
+            self.slots[nf as usize].anc.iter().copied().collect();
+        gained.push(nf);
+        let mut work = vec![nt];
+        while let Some(v) = work.pop() {
+            let slot = &mut self.slots[v as usize];
+            let mut changed = false;
+            for &g in &gained {
+                changed |= slot.anc.insert(g);
+            }
+            if changed {
+                work.extend(slot.out.keys().copied());
+            }
+        }
+        Ok(true)
+    }
+
+    /// Marks a node as no longer any thread's current transaction and
+    /// collects it (and any cascade) if possible.
+    pub fn finish(&mut self, idx: SlotIdx) {
+        self.slots[idx as usize].c_ref = false;
+        self.maybe_collect(idx);
+    }
+
+    /// Collects `idx` if it is finished with no incoming edges, cascading to
+    /// successors whose last incoming edge disappears.
+    pub fn maybe_collect(&mut self, idx: SlotIdx) {
+        if !self.gc_enabled || !self.slots[idx as usize].collectible() {
+            return;
+        }
+        let mut work = vec![idx];
+        while let Some(v) = work.pop() {
+            if !self.slots[v as usize].collectible() {
+                continue;
+            }
+            let slot = &mut self.slots[v as usize];
+            slot.alive = false;
+            slot.floor = slot.counter;
+            let out: Vec<SlotIdx> = slot.out.keys().copied().collect();
+            slot.out.clear();
+            slot.anc.clear();
+            self.stats.cur_alive -= 1;
+            self.stats.collected += 1;
+            for succ in out {
+                let s = &mut self.slots[succ as usize];
+                if s.alive {
+                    s.inc.remove(&v);
+                    if s.collectible() {
+                        work.push(succ);
+                    }
+                }
+            }
+            // Remove the dead node from ancestor sets: edges into it can
+            // never be added again, so it cannot participate in a cycle.
+            for s in &mut self.slots {
+                if s.alive {
+                    s.anc.remove(&v);
+                }
+            }
+            self.free.push(v);
+        }
+    }
+
+    /// Finds a path `start →* goal` over alive nodes, returning the edges
+    /// traversed. Used to reconstruct the cycle once [`CycleFound`] fires
+    /// (the path exists by the ancestor-set invariant).
+    pub fn find_path(&self, start: SlotIdx, goal: SlotIdx) -> Option<Vec<(SlotIdx, EdgeInfo)>> {
+        // Iterative DFS; graphs here are tiny (tens of alive nodes).
+        let mut visited: HashSet<SlotIdx> = HashSet::new();
+        let mut stack: Vec<(SlotIdx, Vec<(SlotIdx, EdgeInfo)>)> = vec![(start, Vec::new())];
+        visited.insert(start);
+        while let Some((node, path)) = stack.pop() {
+            if node == goal {
+                return Some(path);
+            }
+            // Deterministic successor order: reports must be reproducible
+            // run to run, so never iterate the hash map directly.
+            let mut succs: Vec<(SlotIdx, EdgeInfo)> =
+                self.slots[node as usize].out.iter().map(|(&s, &e)| (s, e)).collect();
+            succs.sort_by_key(|(s, _)| *s);
+            for (succ, edge) in succs {
+                // Prune: only descend toward nodes that can reach the goal.
+                if visited.contains(&succ) {
+                    continue;
+                }
+                if succ != goal && !self.slots[goal as usize].anc.contains(&succ) {
+                    continue;
+                }
+                visited.insert(succ);
+                let mut p = path.clone();
+                p.push((succ, edge));
+                stack.push((succ, p));
+            }
+        }
+        None
+    }
+
+    /// The edge `from → to`, if present.
+    pub fn edge(&self, from: SlotIdx, to: SlotIdx) -> Option<EdgeInfo> {
+        self.slots[from as usize].out.get(&to).copied()
+    }
+
+    /// Number of alive nodes (for tests and diagnostics).
+    pub fn alive_count(&self) -> usize {
+        self.stats.cur_alive as usize
+    }
+
+    /// Checks internal invariants; used by tests and debug assertions.
+    ///
+    /// Verifies edge symmetry, ancestor-set exactness (against a recomputed
+    /// transitive closure), and acyclicity.
+    pub fn check_invariants(&self) {
+        // Edge symmetry.
+        for (i, slot) in self.slots.iter().enumerate() {
+            if !slot.alive {
+                continue;
+            }
+            for (&t, &e) in &slot.out {
+                let target = &self.slots[t as usize];
+                assert!(target.alive, "edge to dead slot");
+                assert_eq!(target.inc.get(&(i as SlotIdx)), Some(&e), "edge asymmetry");
+            }
+            for &f in slot.inc.keys() {
+                assert!(
+                    self.slots[f as usize].out.contains_key(&(i as SlotIdx)),
+                    "in-edge without out-edge"
+                );
+            }
+        }
+        // Recompute reachability and compare with anc sets.
+        let alive: Vec<SlotIdx> = (0..self.slots.len() as u32)
+            .map(|i| i as SlotIdx)
+            .filter(|&i| self.slots[i as usize].alive)
+            .collect();
+        for &v in &alive {
+            let mut reach: HashSet<SlotIdx> = HashSet::new();
+            let mut work = vec![v];
+            while let Some(u) = work.pop() {
+                for &s in self.slots[u as usize].out.keys() {
+                    if reach.insert(s) {
+                        work.push(s);
+                    }
+                }
+            }
+            assert!(!reach.contains(&v), "cycle through n{v}");
+            for &d in &reach {
+                assert!(
+                    self.slots[d as usize].anc.contains(&v),
+                    "missing ancestor n{v} of n{d}"
+                );
+            }
+        }
+        for &v in &alive {
+            for &a in &self.slots[v as usize].anc {
+                assert!(self.slots[a as usize].alive, "dead ancestor n{a} of n{v}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use velodrome_events::VarId;
+
+    fn desc(t: u32) -> NodeDesc {
+        NodeDesc { thread: ThreadId::new(t), label: None, first_op: 0 }
+    }
+
+    fn op() -> Op {
+        Op::Read { t: ThreadId::new(0), x: VarId::new(0) }
+    }
+
+    #[test]
+    fn alloc_issues_valid_steps() {
+        let mut a = Arena::new();
+        let s = a.alloc(desc(0), true);
+        assert!(s.is_some());
+        assert_eq!(a.resolve(s), s);
+        assert_eq!(a.stats().allocated, 1);
+        assert_eq!(a.alive_count(), 1);
+    }
+
+    #[test]
+    fn bump_is_monotonic() {
+        let mut a = Arena::new();
+        let s = a.alloc(desc(0), true);
+        let (n, t0) = s.unpack();
+        let s1 = a.bump(n);
+        let s2 = a.bump(n);
+        assert!(s1.ts().unwrap() > t0);
+        assert!(s2.ts() > s1.ts());
+    }
+
+    #[test]
+    fn finished_node_without_edges_is_collected() {
+        let mut a = Arena::new();
+        let s = a.alloc(desc(0), true);
+        let (n, _) = s.unpack();
+        a.finish(n);
+        assert_eq!(a.alive_count(), 0);
+        assert_eq!(a.resolve(s), Step::NONE);
+        assert_eq!(a.stats().collected, 1);
+    }
+
+    #[test]
+    fn incoming_edge_keeps_node_alive() {
+        let mut a = Arena::new();
+        let s0 = a.alloc(desc(0), true);
+        let s1 = a.alloc(desc(1), true);
+        let (n0, _) = s0.unpack();
+        let (n1, _) = s1.unpack();
+        a.add_edge(s0, s1, op(), 0).unwrap();
+        a.finish(n1);
+        // n1 has an incoming edge from live n0: stays alive.
+        assert_eq!(a.alive_count(), 2);
+        a.finish(n0);
+        // n0 collected; cascade removes the edge, collecting n1 too.
+        assert_eq!(a.alive_count(), 0);
+        assert_eq!(a.resolve(s1), Step::NONE);
+    }
+
+    #[test]
+    fn recycled_slot_invalidates_old_steps() {
+        let mut a = Arena::new();
+        let s0 = a.alloc(desc(0), true);
+        let (n0, _) = s0.unpack();
+        a.finish(n0);
+        let s1 = a.alloc(desc(1), true);
+        let (n1, _) = s1.unpack();
+        assert_eq!(n0, n1, "slot is recycled");
+        assert_eq!(a.resolve(s0), Step::NONE, "old incarnation is stale");
+        assert_eq!(a.resolve(s1), s1, "new incarnation is valid");
+        assert_eq!(a.stats().allocated, 2);
+    }
+
+    #[test]
+    fn cycle_is_detected_and_edge_not_added() {
+        let mut a = Arena::new();
+        let s0 = a.alloc(desc(0), true);
+        let s1 = a.alloc(desc(1), true);
+        a.add_edge(s0, s1, op(), 0).unwrap();
+        let err = a.add_edge(s1, s0, op(), 1).unwrap_err();
+        let (n0, _) = s0.unpack();
+        let (n1, _) = s1.unpack();
+        assert_eq!(err.from, n1);
+        assert_eq!(err.to, n0);
+        assert_eq!(a.edge(n1, n0), None, "cycle edge must not be inserted");
+        a.check_invariants();
+    }
+
+    #[test]
+    fn transitive_cycle_detected() {
+        let mut a = Arena::new();
+        let s0 = a.alloc(desc(0), true);
+        let s1 = a.alloc(desc(1), true);
+        let s2 = a.alloc(desc(2), true);
+        a.add_edge(s0, s1, op(), 0).unwrap();
+        a.add_edge(s1, s2, op(), 1).unwrap();
+        assert!(a.add_edge(s2, s0, op(), 2).is_err());
+        a.check_invariants();
+    }
+
+    #[test]
+    fn self_edges_are_filtered() {
+        let mut a = Arena::new();
+        let s0 = a.alloc(desc(0), true);
+        let (n0, _) = s0.unpack();
+        let s0b = a.bump(n0);
+        assert_eq!(a.add_edge(s0, s0b, op(), 0), Ok(false));
+    }
+
+    #[test]
+    fn bottom_and_stale_sources_are_skipped() {
+        let mut a = Arena::new();
+        let s0 = a.alloc(desc(0), true);
+        let (n0, _) = s0.unpack();
+        a.finish(n0);
+        let s1 = a.alloc(desc(1), true);
+        assert_eq!(a.add_edge(Step::NONE, s1, op(), 0), Ok(false));
+        assert_eq!(a.add_edge(s0, s1, op(), 0), Ok(false), "stale source skipped");
+    }
+
+    #[test]
+    fn edge_replacement_updates_timestamps() {
+        let mut a = Arena::new();
+        let s0 = a.alloc(desc(0), true);
+        let s1 = a.alloc(desc(1), true);
+        let (n0, _) = s0.unpack();
+        let (n1, _) = s1.unpack();
+        a.add_edge(s0, s1, op(), 0).unwrap();
+        let s0b = a.bump(n0);
+        let s1b = a.bump(n1);
+        a.add_edge(s0b, s1b, op(), 1).unwrap();
+        let e = a.edge(n0, n1).unwrap();
+        assert_eq!(e.from_ts, s0b.ts().unwrap());
+        assert_eq!(e.to_ts, s1b.ts().unwrap());
+        assert_eq!(a.stats().edges_added, 1);
+        assert_eq!(a.stats().edges_replaced, 1);
+    }
+
+    #[test]
+    fn happens_before_within_and_across_nodes() {
+        let mut a = Arena::new();
+        let s0 = a.alloc(desc(0), true);
+        let s1 = a.alloc(desc(1), true);
+        let (n0, _) = s0.unpack();
+        let s0b = a.bump(n0);
+        assert!(a.happens_before(s0, s0b));
+        assert!(a.happens_before(s0, s0));
+        assert!(!a.happens_before(s0b, s0));
+        assert!(!a.happens_before(s0, s1));
+        a.add_edge(s0, s1, op(), 0).unwrap();
+        assert!(a.happens_before(s0, s1));
+        assert!(!a.happens_before(s1, s0));
+        assert!(!a.happens_before(Step::NONE, s0));
+    }
+
+    #[test]
+    fn find_path_reconstructs_chain() {
+        let mut a = Arena::new();
+        let s0 = a.alloc(desc(0), true);
+        let s1 = a.alloc(desc(1), true);
+        let s2 = a.alloc(desc(2), true);
+        a.add_edge(s0, s1, op(), 0).unwrap();
+        a.add_edge(s1, s2, op(), 1).unwrap();
+        let (n0, _) = s0.unpack();
+        let (n2, _) = s2.unpack();
+        let path = a.find_path(n0, n2).unwrap();
+        assert_eq!(path.len(), 2);
+        assert_eq!(path[1].0, n2);
+        assert!(a.find_path(n2, n0).is_none());
+    }
+
+    #[test]
+    fn gc_disabled_keeps_nodes() {
+        let mut a = Arena::with_gc(false);
+        let s0 = a.alloc(desc(0), true);
+        let (n0, _) = s0.unpack();
+        a.finish(n0);
+        assert_eq!(a.alive_count(), 1);
+        assert_eq!(a.resolve(s0), s0);
+    }
+
+    #[test]
+    fn ancestor_sets_pruned_on_collection() {
+        let mut a = Arena::new();
+        let s0 = a.alloc(desc(0), true);
+        let s1 = a.alloc(desc(1), true);
+        a.add_edge(s0, s1, op(), 0).unwrap();
+        let (n0, _) = s0.unpack();
+        a.finish(n0); // collects n0, cascades nothing (n1 still current)
+        a.check_invariants();
+        let (n1, _) = s1.unpack();
+        a.finish(n1);
+        assert_eq!(a.alive_count(), 0);
+    }
+
+    #[test]
+    fn max_alive_tracks_peak() {
+        let mut a = Arena::new();
+        let steps: Vec<Step> = (0..5).map(|i| a.alloc(desc(i), true)).collect();
+        assert_eq!(a.stats().max_alive, 5);
+        for s in &steps {
+            a.finish(s.unpack().0);
+        }
+        assert_eq!(a.alive_count(), 0);
+        assert_eq!(a.stats().max_alive, 5);
+    }
+
+    #[test]
+    fn diamond_ancestors_exact() {
+        let mut a = Arena::new();
+        let s0 = a.alloc(desc(0), true);
+        let s1 = a.alloc(desc(1), true);
+        let s2 = a.alloc(desc(2), true);
+        let s3 = a.alloc(desc(3), true);
+        a.add_edge(s0, s1, op(), 0).unwrap();
+        a.add_edge(s0, s2, op(), 1).unwrap();
+        a.add_edge(s1, s3, op(), 2).unwrap();
+        a.add_edge(s2, s3, op(), 3).unwrap();
+        a.check_invariants();
+        // Closing any back edge must fail.
+        assert!(a.add_edge(s3, s0, op(), 4).is_err());
+        assert!(a.add_edge(s3, s1, op(), 5).is_err());
+    }
+}

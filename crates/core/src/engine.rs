@@ -1,0 +1,500 @@
+//! The Velodrome online analysis (Figures 2 and 4 of the paper).
+//!
+//! The engine maintains the instrumentation store
+//! `(C, L, U, R, W, H)` over packed [`Step`]s:
+//!
+//! * `C` — per-thread stack of open atomic blocks plus the current
+//!   transaction node;
+//! * `L` — per-thread step of the thread's last operation;
+//! * `U` — per-lock step of the last release;
+//! * `R` — per-variable, per-thread step of the last read (since the last
+//!   write — older reads are transitively ordered through the write chain);
+//! * `W` — per-variable step of the last write;
+//! * `H` — the happens-before graph, held in the [`Arena`] with ancestor
+//!   sets, timestamped edges, and reference-counting GC.
+//!
+//! With [`VelodromeConfig::merge`] enabled the engine uses the optimized
+//! Figure 4 rules: operations outside any transaction allocate a node only
+//! when they have two or more incomparable predecessors, and otherwise
+//! merge with a dominating predecessor (or vanish entirely when every
+//! predecessor is `⊥`). With `merge` disabled it reproduces the naive
+//! `[INS OUTSIDE]` rule of Figure 2 — one fresh node per non-transactional
+//! operation — which Table 1 reports as "Without Merge".
+//!
+//! The analysis is *sound and complete*: it reports a violation iff the
+//! observed trace is not conflict-serializable (Theorem 1).
+
+use crate::arena::{Arena, CycleFound, NodeDesc};
+use crate::report::{CycleReport, ReportEdge, ReportNode};
+use crate::step::{SlotIdx, Step, Ts};
+use std::collections::{BTreeMap, HashMap};
+use velodrome_events::{Label, LockId, Op, SymbolTable, ThreadId, Trace, VarId};
+use velodrome_monitor::tool::{PerLabelDedup, Tool, Warning, WarningCategory};
+
+/// Configuration of the [`Velodrome`] engine.
+#[derive(Debug, Clone)]
+pub struct VelodromeConfig {
+    /// Use the Figure 4 merge optimization for non-transactional operations
+    /// (`true`, the default) or the naive Figure 2 `[INS OUTSIDE]` rule.
+    pub merge: bool,
+    /// Garbage collect transaction nodes (default `true`). Disabling this
+    /// reproduces the "no GC" ablation; large traces will exhaust the
+    /// 16-bit node arena.
+    pub gc: bool,
+    /// Report at most one warning per atomic-block label (default `true`),
+    /// matching how the paper counts non-atomic *methods*.
+    pub dedup_per_label: bool,
+    /// Hard cap on stored warnings; `0` means unlimited.
+    pub max_warnings: usize,
+    /// Symbol table used to render warnings and error graphs.
+    pub names: SymbolTable,
+}
+
+impl Default for VelodromeConfig {
+    fn default() -> Self {
+        Self {
+            merge: true,
+            gc: true,
+            dedup_per_label: true,
+            max_warnings: 10_000,
+            names: SymbolTable::new(),
+        }
+    }
+}
+
+/// Aggregate statistics of an analysis run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VelodromeStats {
+    /// Operations processed.
+    pub ops: u64,
+    /// Total transaction nodes allocated (Table 1 "Allocated").
+    pub nodes_allocated: u64,
+    /// Peak simultaneously-alive nodes (Table 1 "Max. Alive").
+    pub max_alive: u64,
+    /// Nodes reclaimed by GC.
+    pub collected: u64,
+    /// Happens-before edges inserted.
+    pub edges_added: u64,
+    /// Non-transactional operations that merged into an existing node.
+    pub merges_reused: u64,
+    /// Non-transactional operations that vanished (all predecessors `⊥`).
+    pub merges_bottom: u64,
+    /// Cycles detected (before per-label deduplication).
+    pub cycles_detected: u64,
+}
+
+impl std::fmt::Display for VelodromeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ops, {} nodes allocated ({} max alive, {} collected), \
+             {} edges, {} merges reused, {} vanished, {} cycles",
+            self.ops,
+            self.nodes_allocated,
+            self.max_alive,
+            self.collected,
+            self.edges_added,
+            self.merges_reused,
+            self.merges_bottom,
+            self.cycles_detected
+        )
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Block {
+    label: Label,
+    start_ts: Ts,
+    #[allow(dead_code)]
+    begin_op: usize,
+}
+
+#[derive(Debug, Default)]
+struct ThreadState {
+    /// `L(t)`: step of the thread's last operation (weak).
+    l: Step,
+    /// Current transaction node; meaningful only when `stack` is non-empty.
+    node: SlotIdx,
+    /// Open atomic blocks, outermost first.
+    stack: Vec<Block>,
+}
+
+/// The sound and complete dynamic serializability analysis.
+///
+/// Feed it operations through the [`Tool`] interface (usually via
+/// [`velodrome_monitor::run_tool`] or [`check_trace`]); it reports one
+/// [`Warning`] per detected violation and keeps the full [`CycleReport`]s
+/// for inspection.
+#[derive(Debug)]
+pub struct Velodrome {
+    cfg: VelodromeConfig,
+    arena: Arena,
+    threads: Vec<ThreadState>,
+    /// `U`: last release step per lock.
+    u: HashMap<LockId, Step>,
+    /// `W`: last write step per variable.
+    w: HashMap<VarId, Step>,
+    /// `R`: last read step per variable and thread (since the last write).
+    /// Ordered by thread so edge-insertion order (and thus reports and
+    /// statistics) is deterministic.
+    r: HashMap<VarId, BTreeMap<ThreadId, Step>>,
+    warnings: Vec<Warning>,
+    reports: Vec<CycleReport>,
+    dedup: PerLabelDedup,
+    stats: VelodromeStats,
+}
+
+impl Default for Velodrome {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Velodrome {
+    /// Creates an engine with the default (fully optimized) configuration.
+    pub fn new() -> Self {
+        Self::with_config(VelodromeConfig::default())
+    }
+
+    /// Creates an engine with an explicit configuration.
+    pub fn with_config(cfg: VelodromeConfig) -> Self {
+        let arena = Arena::with_gc(cfg.gc);
+        Self {
+            cfg,
+            arena,
+            threads: Vec::new(),
+            u: HashMap::new(),
+            w: HashMap::new(),
+            r: HashMap::new(),
+            warnings: Vec::new(),
+            reports: Vec::new(),
+            dedup: PerLabelDedup::new(),
+            stats: VelodromeStats::default(),
+        }
+    }
+
+    /// Statistics of the run so far.
+    pub fn stats(&self) -> VelodromeStats {
+        let a = self.arena.stats();
+        VelodromeStats {
+            nodes_allocated: a.allocated,
+            max_alive: a.max_alive,
+            collected: a.collected,
+            edges_added: a.edges_added,
+            ..self.stats
+        }
+    }
+
+    /// Full cycle reports collected so far (not drained by
+    /// [`Tool::take_warnings`]).
+    pub fn reports(&self) -> &[CycleReport] {
+        &self.reports
+    }
+
+    /// Number of currently alive transaction nodes.
+    pub fn alive_nodes(&self) -> usize {
+        self.arena.alive_count()
+    }
+
+    /// Exposes the arena's internal invariant checker (tests only).
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        self.arena.check_invariants();
+    }
+
+    fn thread_mut(&mut self, t: ThreadId) -> &mut ThreadState {
+        let idx = t.index();
+        if idx >= self.threads.len() {
+            self.threads.resize_with(idx + 1, ThreadState::default);
+        }
+        &mut self.threads[idx]
+    }
+
+    fn in_txn(&mut self, t: ThreadId) -> bool {
+        !self.thread_mut(t).stack.is_empty()
+    }
+
+    /// Advances thread `t` by one operation with happens-before
+    /// predecessors `preds`, returning the operation's step (possibly `⊥`
+    /// for vanishing non-transactional operations).
+    fn advance(&mut self, t: ThreadId, preds: &[Step], op: Op, idx: usize) -> Step {
+        if self.in_txn(t) {
+            let node = self.thread_mut(t).node;
+            let s = self.arena.bump(node);
+            for &p in preds {
+                if let Err(c) = self.arena.add_edge(p, s, op, idx) {
+                    self.report_cycle(c, t, op, idx);
+                }
+            }
+            self.thread_mut(t).l = s;
+            return s;
+        }
+        // Non-transactional operation: gather the resolved predecessors,
+        // including the thread-order predecessor L(t), deduplicated per node
+        // (keeping the latest timestamp).
+        let l = self.thread_mut(t).l;
+        let mut args: Vec<Step> = Vec::with_capacity(preds.len() + 1);
+        for &p in preds.iter().chain(std::iter::once(&l)) {
+            let p = self.arena.resolve(p);
+            if let Some((n, ts)) = p.is_some().then(|| p.unpack()) {
+                match args.iter_mut().find(|a| a.slot() == Some(n)) {
+                    Some(a) => {
+                        if ts > a.ts().expect("resolved step") {
+                            *a = p;
+                        }
+                    }
+                    None => args.push(p),
+                }
+            }
+        }
+        let s = if !self.cfg.merge {
+            // Figure 2 [INS OUTSIDE]: wrap the operation in a fresh unary
+            // transaction.
+            let desc = NodeDesc { thread: t, label: None, first_op: idx };
+            let s = self.arena.alloc(desc, true);
+            for &a in &args {
+                // The target node is fresh, so no cycle is possible.
+                let _ = self.arena.add_edge(a, s, op, idx);
+            }
+            let (slot, _) = s.unpack();
+            self.arena.finish(slot);
+            s
+        } else if args.is_empty() {
+            // All predecessors are ⊥: the unary transaction would be
+            // collected immediately, so it is never allocated (merge case 1).
+            self.stats.merges_bottom += 1;
+            Step::NONE
+        } else if let Some(&sj) = args.iter().find(|&&sj| {
+            // Reuse is safe only for nodes that can never gain another
+            // incoming edge: merging into another thread's *current*
+            // transaction would turn a later conflicting edge back into it
+            // into a filtered self-edge, hiding a real cycle.
+            !self.arena.is_current(sj.unpack().0)
+                && args.iter().all(|&si| self.arena.happens_before(si, sj))
+        }) {
+            // A dominating, non-current predecessor exists: reuse its node
+            // (merge case 2).
+            self.stats.merges_reused += 1;
+            let (slot, _) = sj.unpack();
+            self.arena.bump(slot)
+        } else {
+            // Two or more incomparable predecessors: allocate a merge node
+            // with edges from each (merge case 3). The node is fresh, so no
+            // cycle is possible.
+            let desc = NodeDesc { thread: t, label: None, first_op: idx };
+            let s = self.arena.alloc(desc, false);
+            for &a in &args {
+                let _ = self.arena.add_edge(a, s, op, idx);
+            }
+            s
+        };
+        self.thread_mut(t).l = s;
+        s
+    }
+
+    fn on_begin(&mut self, t: ThreadId, l: Label, idx: usize) {
+        if self.in_txn(t) {
+            // [INS2 RE-ENTER]: nested block within the current transaction.
+            let node = self.thread_mut(t).node;
+            let s = self.arena.bump(node);
+            let ts = s.ts().expect("bumped step");
+            let st = self.thread_mut(t);
+            st.l = s;
+            st.stack.push(Block { label: l, start_ts: ts, begin_op: idx });
+        } else {
+            // [INS2 ENTER]: allocate a fresh transaction node, ordered after
+            // the thread's previous transaction.
+            let prev = self.thread_mut(t).l;
+            let desc = NodeDesc { thread: t, label: Some(l), first_op: idx };
+            let s = self.arena.alloc(desc, true);
+            let op = Op::Begin { t, l };
+            let _ = self.arena.add_edge(prev, s, op, idx);
+            let (slot, ts) = s.unpack();
+            let st = self.thread_mut(t);
+            st.l = s;
+            st.node = slot;
+            st.stack = vec![Block { label: l, start_ts: ts, begin_op: idx }];
+        }
+    }
+
+    fn on_end(&mut self, t: ThreadId, _idx: usize) {
+        if !self.in_txn(t) {
+            return; // Stray end: tolerated, as in the trace semantics.
+        }
+        let node = self.thread_mut(t).node;
+        let s = self.arena.bump(node);
+        let st = self.thread_mut(t);
+        st.l = s;
+        st.stack.pop();
+        if st.stack.is_empty() {
+            // [INS2 EXIT] of the outermost block: the transaction is
+            // finished and becomes collectible once unreferenced.
+            self.arena.finish(node);
+        }
+    }
+
+    fn on_read(&mut self, t: ThreadId, x: VarId, op: Op, idx: usize) {
+        let w = self.w.get(&x).copied().unwrap_or(Step::NONE);
+        let s = self.advance(t, &[w], op, idx);
+        let per_var = self.r.entry(x).or_default();
+        if s.is_some() {
+            per_var.insert(t, s);
+        } else {
+            per_var.remove(&t);
+        }
+    }
+
+    fn on_write(&mut self, t: ThreadId, x: VarId, op: Op, idx: usize) {
+        let mut preds: Vec<Step> = Vec::new();
+        if let Some(per_var) = self.r.get(&x) {
+            preds.extend(per_var.values().copied());
+        }
+        preds.push(self.w.get(&x).copied().unwrap_or(Step::NONE));
+        let s = self.advance(t, &preds, op, idx);
+        if s.is_some() {
+            self.w.insert(x, s);
+        } else {
+            self.w.remove(&x);
+        }
+        // Older reads are now transitively ordered through this write.
+        if let Some(per_var) = self.r.get_mut(&x) {
+            per_var.clear();
+        }
+    }
+
+    fn on_acquire(&mut self, t: ThreadId, m: LockId, op: Op, idx: usize) {
+        let u = self.u.get(&m).copied().unwrap_or(Step::NONE);
+        let _ = self.advance(t, &[u], op, idx);
+    }
+
+    fn on_release(&mut self, t: ThreadId, m: LockId, op: Op, idx: usize) {
+        let s = self.advance(t, &[], op, idx);
+        if s.is_some() {
+            self.u.insert(m, s);
+        } else {
+            self.u.remove(&m);
+        }
+    }
+
+    fn on_fork(&mut self, t: ThreadId, child: ThreadId, op: Op, idx: usize) {
+        let s = self.advance(t, &[], op, idx);
+        // The child's first operation is ordered after the fork: seed its
+        // thread-order predecessor.
+        self.thread_mut(child).l = s;
+    }
+
+    fn on_join(&mut self, t: ThreadId, child: ThreadId, op: Op, idx: usize) {
+        let lc = self.thread_mut(child).l;
+        let _ = self.advance(t, &[lc], op, idx);
+    }
+
+    fn report_cycle(&mut self, c: CycleFound, t: ThreadId, op: Op, idx: usize) {
+        self.stats.cycles_detected += 1;
+        // Reconstruct the existing path current-txn →* edge-source; the
+        // rejected edge closes the cycle.
+        let path = self
+            .arena
+            .find_path(c.to, c.from)
+            .expect("cycle detection implies a path back to the edge source");
+        let mut nodes: Vec<ReportNode> = vec![self.arena.desc(c.to).into()];
+        let mut edges: Vec<ReportEdge> = Vec::with_capacity(path.len() + 1);
+        for (slot, e) in &path {
+            edges.push(ReportEdge {
+                op: e.op,
+                op_index: e.op_index,
+                from_ts: e.from_ts,
+                to_ts: e.to_ts,
+            });
+            nodes.push(self.arena.desc(*slot).into());
+        }
+        edges.push(ReportEdge { op, op_index: idx, from_ts: c.from_ts, to_ts: c.to_ts });
+
+        // Increasing-cycle check (Section 4.3): for every node other than
+        // the current transaction, the incoming timestamp must not exceed
+        // the outgoing timestamp.
+        let increasing =
+            (1..nodes.len()).all(|i| edges[i - 1].to_ts <= edges[i].from_ts);
+
+        // Blame: the cycle leaves the current transaction at the root
+        // timestamp; every enclosing atomic block whose begin precedes the
+        // root contains both root and target operations and is refuted.
+        let root_ts = edges[0].from_ts;
+        let stack = &self.threads[t.index()].stack;
+        let refuted: Vec<Label> = if increasing {
+            stack.iter().filter(|b| b.start_ts <= root_ts).map(|b| b.label).collect()
+        } else {
+            Vec::new()
+        };
+        let blamed = increasing.then_some(0);
+        let outermost = stack.first().map(|b| b.label);
+        let report = CycleReport {
+            nodes,
+            edges,
+            increasing,
+            blamed,
+            refuted,
+            op_index: idx,
+        };
+
+        let attribution = report.blamed_label().or(outermost);
+        if self.cfg.dedup_per_label && !self.dedup.first_report(attribution) {
+            self.reports.push(report);
+            return;
+        }
+        if self.cfg.max_warnings > 0 && self.warnings.len() >= self.cfg.max_warnings {
+            self.reports.push(report);
+            return;
+        }
+        let warning = Warning {
+            tool: "velodrome",
+            category: WarningCategory::Atomicity,
+            label: attribution,
+            thread: t,
+            op_index: idx,
+            message: report.summary(&self.cfg.names),
+            details: Some(report.to_dot(&self.cfg.names)),
+        };
+        self.warnings.push(warning);
+        self.reports.push(report);
+    }
+}
+
+impl Tool for Velodrome {
+    fn name(&self) -> &'static str {
+        "velodrome"
+    }
+
+    fn op(&mut self, index: usize, op: Op) {
+        self.stats.ops += 1;
+        match op {
+            Op::Read { t, x } => self.on_read(t, x, op, index),
+            Op::Write { t, x } => self.on_write(t, x, op, index),
+            Op::Acquire { t, m } => self.on_acquire(t, m, op, index),
+            Op::Release { t, m } => self.on_release(t, m, op, index),
+            Op::Begin { t, l } => self.on_begin(t, l, index),
+            Op::End { t } => self.on_end(t, index),
+            Op::Fork { t, child } => self.on_fork(t, child, op, index),
+            Op::Join { t, child } => self.on_join(t, child, op, index),
+        }
+    }
+
+    fn take_warnings(&mut self) -> Vec<Warning> {
+        std::mem::take(&mut self.warnings)
+    }
+}
+
+/// Runs Velodrome over a recorded trace with default configuration (names
+/// taken from the trace) and returns the warnings.
+pub fn check_trace(trace: &Trace) -> Vec<Warning> {
+    let cfg = VelodromeConfig { names: trace.names().clone(), ..VelodromeConfig::default() };
+    let mut v = Velodrome::with_config(cfg);
+    velodrome_monitor::run_tool(&mut v, trace)
+}
+
+/// Like [`check_trace`], but also returns the engine for inspecting
+/// statistics and full cycle reports.
+pub fn check_trace_with(trace: &Trace, cfg: VelodromeConfig) -> (Vec<Warning>, Velodrome) {
+    let mut v = Velodrome::with_config(cfg);
+    let warnings = velodrome_monitor::run_tool(&mut v, trace);
+    (warnings, v)
+}

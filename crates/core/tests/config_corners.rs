@@ -1,0 +1,93 @@
+//! Corner cases of configuration and labeling: `Only` specs, recursive
+//! (re-entrant) atomic blocks, labels shared across threads, and warning
+//! attribution.
+
+use velodrome::{check_trace_with, Velodrome, VelodromeConfig};
+use velodrome_events::{Label, TraceBuilder};
+use velodrome_monitor::{run_tool, AtomicitySpec, SpecFilter};
+
+/// Checking *only* one method silences violations of the others but still
+/// reports the selected one.
+#[test]
+fn only_spec_selects_single_method() {
+    let mut b = TraceBuilder::new();
+    // Two independent violations on two methods.
+    b.begin("T1", "first").read("T1", "x");
+    b.write("T2", "x");
+    b.write("T1", "x").end("T1");
+    b.begin("T2", "second").read("T2", "y");
+    b.write("T1", "y");
+    b.write("T2", "y").end("T2");
+    let trace = b.finish();
+
+    let first = Label::new(0);
+    let mut tool = SpecFilter::new(AtomicitySpec::only([first]), Velodrome::new());
+    let warnings = run_tool(&mut tool, &trace);
+    assert_eq!(warnings.len(), 1);
+    assert_eq!(warnings[0].label, Some(first));
+}
+
+/// A recursive atomic method (same label nested in itself) stays one
+/// transaction and is blamed once.
+#[test]
+fn recursive_atomic_blocks() {
+    let mut b = TraceBuilder::new();
+    b.begin("T1", "recurse").begin("T1", "recurse").read("T1", "x");
+    b.write("T2", "x");
+    b.write("T1", "x").end("T1").end("T1");
+    let trace = b.finish();
+    let cfg = VelodromeConfig { names: trace.names().clone(), ..VelodromeConfig::default() };
+    let (warnings, engine) = check_trace_with(&trace, cfg);
+    assert_eq!(warnings.len(), 1);
+    let report = &engine.reports()[0];
+    // Both stack entries carry the same label and are refuted.
+    assert_eq!(report.refuted.len(), 2);
+    assert!(report.refuted.iter().all(|&l| l == Label::new(0)));
+}
+
+/// The same label executed by different threads is one *method*: the
+/// per-label deduplication counts it once even when both threads violate.
+#[test]
+fn shared_labels_across_threads_dedup_as_one_method() {
+    let mut b = TraceBuilder::new();
+    for (t, o) in [("T1", "T2"), ("T2", "T1")] {
+        b.begin(t, "Set.add").read(t, "elems");
+        b.write(o, "elems");
+        b.write(t, "elems").end(t);
+    }
+    let trace = b.finish();
+    let (warnings, engine) = check_trace_with(&trace, VelodromeConfig::default());
+    assert_eq!(warnings.len(), 1, "one method, one warning");
+    assert_eq!(engine.stats().cycles_detected, 2, "both dynamic violations detected");
+}
+
+/// Zero-length transactions (`begin` immediately followed by `end`) are
+/// trivially serializable and never warned about, alone or nested.
+#[test]
+fn empty_transactions_are_harmless() {
+    let mut b = TraceBuilder::new();
+    for _ in 0..100 {
+        b.begin("T1", "noop").end("T1");
+        b.begin("T2", "noop").begin("T2", "inner").end("T2").end("T2");
+    }
+    let trace = b.finish();
+    let (warnings, engine) = check_trace_with(&trace, VelodromeConfig::default());
+    assert!(warnings.is_empty());
+    assert_eq!(engine.alive_nodes(), 0);
+}
+
+/// Attribution without blame: a non-increasing cycle still names the
+/// current transaction's outermost label so Table 2 can count the method.
+#[test]
+fn unblamed_warnings_still_carry_a_label() {
+    let mut b = TraceBuilder::new();
+    b.begin("T1", "D").write("T1", "x");
+    b.begin("T2", "E").write("T2", "y");
+    b.read("T1", "y").end("T1");
+    b.read("T2", "x").end("T2");
+    let trace = b.finish();
+    let (warnings, engine) = check_trace_with(&trace, VelodromeConfig::default());
+    assert_eq!(warnings.len(), 1);
+    assert!(engine.reports()[0].blamed.is_none());
+    assert!(warnings[0].label.is_some(), "attribution survives missing blame");
+}

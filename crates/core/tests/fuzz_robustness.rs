@@ -1,0 +1,75 @@
+//! Robustness fuzzing: the engine must never panic and must keep its
+//! internal invariants on *arbitrary* operation sequences — including
+//! ill-formed ones (stray ends, unmatched acquires, re-entrant locking,
+//! forks of running threads) that a buggy front end might deliver.
+
+use proptest::prelude::*;
+use velodrome::{Velodrome, VelodromeConfig};
+use velodrome_events::{Label, LockId, Op, ThreadId, VarId};
+use velodrome_monitor::Tool;
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let t = (0u32..5).prop_map(ThreadId::new);
+    let x = (0u32..4).prop_map(VarId::new);
+    let m = (0u32..3).prop_map(LockId::new);
+    let l = (0u32..4).prop_map(Label::new);
+    prop_oneof![
+        (t.clone(), x.clone()).prop_map(|(t, x)| Op::Read { t, x }),
+        (t.clone(), x).prop_map(|(t, x)| Op::Write { t, x }),
+        (t.clone(), m.clone()).prop_map(|(t, m)| Op::Acquire { t, m }),
+        (t.clone(), m).prop_map(|(t, m)| Op::Release { t, m }),
+        (t.clone(), l).prop_map(|(t, l)| Op::Begin { t, l }),
+        t.clone().prop_map(|t| Op::End { t }),
+        (t.clone(), (0u32..5).prop_map(ThreadId::new))
+            .prop_map(|(t, child)| Op::Fork { t, child }),
+        (t, (0u32..5).prop_map(ThreadId::new)).prop_map(|(t, child)| Op::Join { t, child }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Arbitrary op soup: no panics, invariants hold throughout, and the
+    /// merge and no-merge engines agree on whether a cycle exists.
+    #[test]
+    fn engine_is_total_on_arbitrary_input(ops in prop::collection::vec(arb_op(), 0..120)) {
+        let mut merged = Velodrome::with_config(VelodromeConfig {
+            dedup_per_label: false,
+            ..VelodromeConfig::default()
+        });
+        let mut basic = Velodrome::with_config(VelodromeConfig {
+            merge: false,
+            dedup_per_label: false,
+            ..VelodromeConfig::default()
+        });
+        for (i, &op) in ops.iter().enumerate() {
+            merged.op(i, op);
+            basic.op(i, op);
+        }
+        merged.check_invariants();
+        basic.check_invariants();
+        prop_assert_eq!(
+            merged.stats().cycles_detected > 0,
+            basic.stats().cycles_detected > 0,
+            "merge and basic disagree on arbitrary input"
+        );
+    }
+
+    /// GC never changes what is detected, even on garbage input.
+    #[test]
+    fn gc_is_transparent_on_arbitrary_input(ops in prop::collection::vec(arb_op(), 0..80)) {
+        let run = |gc: bool| {
+            let mut engine = Velodrome::with_config(VelodromeConfig {
+                gc,
+                dedup_per_label: false,
+                ..VelodromeConfig::default()
+            });
+            for (i, &op) in ops.iter().enumerate() {
+                engine.op(i, op);
+            }
+            engine.check_invariants();
+            engine.stats().cycles_detected
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+}

@@ -1,0 +1,384 @@
+//! End-to-end tests of the Velodrome engine on the paper's worked examples.
+
+use velodrome::{check_trace, check_trace_with, Velodrome, VelodromeConfig};
+use velodrome_events::{oracle, Trace, TraceBuilder};
+use velodrome_monitor::{run_tool, Tool};
+
+fn check_all(trace: &Trace) -> (Vec<velodrome_monitor::Warning>, Velodrome) {
+    let cfg = VelodromeConfig { names: trace.names().clone(), ..VelodromeConfig::default() };
+    check_trace_with(trace, cfg)
+}
+
+/// The introduction's three-transaction cycle: A → B via rel/acq(m),
+/// B → C via wr/rd(y), C → A via wr/rd(x); blame falls on A.
+#[test]
+fn intro_cycle_blames_transaction_a() {
+    let mut b = TraceBuilder::new();
+    b.begin("T1", "A").acquire("T1", "m").release("T1", "m");
+    b.begin("T2", "B").acquire("T2", "m").write("T2", "y").end("T2");
+    b.begin("T3", "C").read("T3", "y").write("T3", "x").end("T3");
+    b.read("T1", "x").end("T1");
+    let trace = b.finish();
+    assert!(!oracle::is_serializable(&trace), "oracle agrees the trace is bad");
+
+    let (warnings, engine) = check_all(&trace);
+    assert_eq!(warnings.len(), 1, "exactly one violation: {warnings:?}");
+    let report = &engine.reports()[0];
+    assert_eq!(report.nodes.len(), 3, "cycle has three transactions");
+    assert!(report.increasing, "cycle is increasing");
+    assert_eq!(report.blamed, Some(0));
+    let names = trace.names();
+    assert_eq!(names.label(report.blamed_label().unwrap()), "A");
+    assert!(warnings[0].message.contains("A is not atomic"), "{}", warnings[0].message);
+}
+
+/// The Section 1 `Set.add` example: race-free but not atomic.
+#[test]
+fn set_add_is_race_free_but_not_atomic() {
+    let mut b = TraceBuilder::new();
+    // Two threads run Set.add concurrently; every elems access holds the
+    // vector's monitor, but the check-then-act spans two critical sections.
+    b.begin("T1", "Set.add");
+    b.acquire("T1", "this").read("T1", "elems").release("T1", "this"); // contains
+    b.begin("T2", "Set.add");
+    b.acquire("T2", "this").read("T2", "elems").release("T2", "this"); // contains
+    b.acquire("T2", "this").read("T2", "elems").write("T2", "elems"); // add
+    b.release("T2", "this").end("T2");
+    b.acquire("T1", "this").read("T1", "elems").write("T1", "elems"); // add
+    b.release("T1", "this").end("T1");
+    let trace = b.finish();
+    assert!(!oracle::is_serializable(&trace));
+
+    let (warnings, engine) = check_all(&trace);
+    assert_eq!(warnings.len(), 1);
+    assert!(warnings[0].message.contains("Set.add is not atomic"), "{}", warnings[0].message);
+    let dot = warnings[0].details.as_ref().unwrap();
+    assert!(dot.contains("digraph"));
+    assert!(dot.contains("style=dashed"), "closing edge is dashed: {dot}");
+    assert!(dot.contains("peripheries=2"), "blamed box is outlined: {dot}");
+    assert!(engine.reports()[0].increasing);
+}
+
+/// Section 2's interleaved read-modify-write.
+#[test]
+fn interleaved_rmw_is_reported_and_blamed() {
+    let mut b = TraceBuilder::new();
+    b.begin("T1", "inc").read("T1", "x");
+    b.write("T2", "x");
+    b.write("T1", "x").end("T1");
+    let trace = b.finish();
+
+    let (warnings, engine) = check_all(&trace);
+    assert_eq!(warnings.len(), 1);
+    let report = &engine.reports()[0];
+    assert!(report.increasing);
+    assert_eq!(report.blamed, Some(0));
+    assert_eq!(trace.names().label(report.refuted[0]), "inc");
+}
+
+/// Section 2's volatile-flag handoff: serializable, so Velodrome must stay
+/// silent (the Atomizer false-alarms here).
+#[test]
+fn flag_handoff_produces_no_warnings() {
+    let mut b = TraceBuilder::new();
+    // Initially thread 1 owns x (b == 1). Two full handoff rounds, with
+    // thread 2 spinning on the flag while thread 1 is in its critical block.
+    for _round in 0..2 {
+        b.read("T1", "b"); // sees 1: proceed
+        b.begin("T1", "crit1").read("T1", "x").write("T1", "x");
+        b.read("T2", "b"); // spinning: still 1
+        b.write("T1", "b"); // b = 2 inside the block, as in the paper
+        b.end("T1");
+        b.read("T2", "b"); // sees 2: proceed
+        b.begin("T2", "crit2").read("T2", "x").write("T2", "x");
+        b.read("T1", "b"); // spinning: still 2
+        b.write("T2", "b"); // b = 1
+        b.end("T2");
+    }
+    let trace = b.finish();
+    assert!(oracle::is_serializable(&trace), "handoff trace is serializable");
+
+    let (warnings, _) = check_all(&trace);
+    assert!(warnings.is_empty(), "complete analysis must not false-alarm: {warnings:?}");
+}
+
+/// Section 4.3's nested-block example: the cycle refutes blocks `p` and `q`
+/// but not the innermost `r`, which is serial in the trace.
+#[test]
+fn nested_blocks_refute_p_and_q_but_not_r() {
+    let mut b = TraceBuilder::new();
+    b.begin("T1", "p").begin("T1", "q").read("T1", "x");
+    b.write("T2", "x");
+    b.begin("T1", "r").write("T1", "x").end("T1").end("T1").end("T1");
+    let trace = b.finish();
+
+    let (warnings, engine) = check_all(&trace);
+    assert_eq!(warnings.len(), 1);
+    let report = &engine.reports()[0];
+    assert!(report.increasing);
+    let names = trace.names();
+    let refuted: Vec<String> = report.refuted.iter().map(|&l| names.label(l)).collect();
+    assert_eq!(refuted, vec!["p", "q"], "r must not be refuted");
+    // The warning is attributed to the outermost refuted block.
+    assert_eq!(names.label(warnings[0].label.unwrap()), "p");
+}
+
+/// Section 4.3's two self-serializable transactions whose combination is
+/// not serializable: the cycle is not increasing, so no single transaction
+/// is blamed — but the violation is still reported.
+#[test]
+fn self_serializable_pair_reported_without_blame() {
+    let mut b = TraceBuilder::new();
+    b.begin("T1", "D").write("T1", "x");
+    b.begin("T2", "E").write("T2", "y");
+    b.read("T1", "y").end("T1");
+    b.read("T2", "x").end("T2");
+    let trace = b.finish();
+    assert!(!oracle::is_serializable(&trace));
+
+    let (warnings, engine) = check_all(&trace);
+    assert_eq!(warnings.len(), 1, "violation must still be reported");
+    let report = &engine.reports()[0];
+    assert!(!report.increasing, "cycle is not increasing");
+    assert_eq!(report.blamed, None, "no single transaction can be blamed");
+    assert!(warnings[0].message.contains("no single transaction blamed"));
+}
+
+/// Lock-protected increments are serializable: no warnings.
+#[test]
+fn lock_protected_counter_is_atomic() {
+    let mut b = TraceBuilder::new();
+    for round in 0..50 {
+        let t = if round % 2 == 0 { "T1" } else { "T2" };
+        b.begin(t, "inc").acquire(t, "m").read(t, "x").write(t, "x").release(t, "m").end(t);
+    }
+    let (warnings, engine) = check_all(&b.finish());
+    assert!(warnings.is_empty());
+    engine.check_invariants();
+}
+
+/// Garbage collection keeps only a handful of nodes alive even over long
+/// traces (Section 4.1 / Table 1).
+#[test]
+fn gc_keeps_alive_count_tiny() {
+    let mut b = TraceBuilder::new();
+    for i in 0..2_000 {
+        let t = if i % 2 == 0 { "T1" } else { "T2" };
+        b.begin(t, "work").acquire(t, "m").read(t, "x").write(t, "x").release(t, "m").end(t);
+    }
+    let (warnings, engine) = check_all(&b.finish());
+    assert!(warnings.is_empty());
+    let stats = engine.stats();
+    assert!(stats.max_alive <= 8, "max alive {} should be tiny", stats.max_alive);
+    assert_eq!(engine.alive_nodes(), 0, "everything collected at quiescence");
+}
+
+/// The merge optimization eliminates node allocation for unary operations
+/// (Section 4.2 / Table 1 "Without Merge" vs "With Merge").
+#[test]
+fn merge_eliminates_unary_allocations() {
+    let mut b = TraceBuilder::new();
+    // Mostly non-transactional traffic on thread-disjoint variables.
+    for i in 0..1_000 {
+        let t = if i % 2 == 0 { "T1" } else { "T2" };
+        let x = if i % 2 == 0 { "u" } else { "v" };
+        b.read(t, x);
+        b.write(t, x);
+    }
+    let trace = b.finish();
+
+    let merged = VelodromeConfig { merge: true, ..VelodromeConfig::default() };
+    let unmerged = VelodromeConfig { merge: false, ..VelodromeConfig::default() };
+    let (w1, e1) = check_trace_with(&trace, merged);
+    let (w2, e2) = check_trace_with(&trace, unmerged);
+    assert!(w1.is_empty() && w2.is_empty());
+    let with_merge = e1.stats().nodes_allocated;
+    let without = e2.stats().nodes_allocated;
+    assert_eq!(without, 2_000, "naive rule allocates per operation");
+    assert!(
+        with_merge <= without / 100,
+        "merge should eliminate allocations: {with_merge} vs {without}"
+    );
+    assert!(e2.stats().max_alive <= 4, "GC keeps the naive variant small too");
+}
+
+/// Merge and no-merge configurations agree on every verdict.
+#[test]
+fn merge_and_basic_agree_on_violations() {
+    let traces: Vec<Trace> = vec![
+        {
+            let mut b = TraceBuilder::new();
+            b.begin("T1", "inc").read("T1", "x");
+            b.write("T2", "x");
+            b.write("T1", "x").end("T1");
+            b.finish()
+        },
+        {
+            let mut b = TraceBuilder::new();
+            b.read("T1", "x").write("T2", "x").read("T1", "x");
+            b.finish()
+        },
+        {
+            let mut b = TraceBuilder::new();
+            b.begin("T1", "a").write("T1", "x").end("T1");
+            b.begin("T2", "b").read("T2", "x").write("T2", "y").end("T2");
+            b.read("T1", "y");
+            b.finish()
+        },
+    ];
+    for trace in &traces {
+        let (w1, _) =
+            check_trace_with(trace, VelodromeConfig { merge: true, ..Default::default() });
+        let (w2, _) =
+            check_trace_with(trace, VelodromeConfig { merge: false, ..Default::default() });
+        assert_eq!(
+            w1.is_empty(),
+            w2.is_empty(),
+            "merge/no-merge disagree on:\n{trace}"
+        );
+        assert_eq!(w1.is_empty(), oracle::is_serializable(trace), "vs oracle on:\n{trace}");
+    }
+}
+
+/// A violation through a unary (non-transactional) write is caught: the
+/// conflicting writer never enters an atomic block.
+#[test]
+fn unary_writer_breaks_transaction() {
+    let mut b = TraceBuilder::new();
+    b.begin("T1", "update").read("T1", "x");
+    b.write("T2", "x"); // plain unprotected write, outside any block
+    b.write("T1", "x").end("T1");
+    let (warnings, _) = check_all(&b.finish());
+    assert_eq!(warnings.len(), 1);
+}
+
+/// Per-label deduplication reports each non-atomic method once, however
+/// often it misbehaves.
+#[test]
+fn dedup_reports_each_method_once() {
+    let mut b = TraceBuilder::new();
+    for _ in 0..10 {
+        b.begin("T1", "inc").read("T1", "x");
+        b.write("T2", "x");
+        b.write("T1", "x").end("T1");
+    }
+    let trace = b.finish();
+    let (warnings, engine) = check_all(&trace);
+    assert_eq!(warnings.len(), 1, "one warning for `inc`");
+    assert!(engine.stats().cycles_detected >= 10, "but every cycle is detected");
+
+    let cfg = VelodromeConfig { dedup_per_label: false, ..VelodromeConfig::default() };
+    let (all, _) = check_trace_with(&trace, cfg);
+    assert_eq!(all.len(), 10, "without dedup every occurrence is reported");
+}
+
+/// The analysis continues soundly after a violation: later, independent
+/// violations are still found.
+#[test]
+fn analysis_continues_after_first_violation() {
+    let mut b = TraceBuilder::new();
+    b.begin("T1", "first").read("T1", "x");
+    b.write("T2", "x");
+    b.write("T1", "x").end("T1");
+    // Unrelated second violation on different variables and labels.
+    b.begin("T2", "second").read("T2", "y");
+    b.write("T1", "y");
+    b.write("T2", "y").end("T2");
+    let (warnings, _) = check_all(&b.finish());
+    assert_eq!(warnings.len(), 2);
+    let labels: Vec<_> = warnings.iter().map(|w| w.label.unwrap().index()).collect();
+    assert_ne!(labels[0], labels[1]);
+}
+
+/// Fork/join edges order transactions: a parent-child pipeline is
+/// serializable, and Velodrome does not false-alarm on fork-join idioms
+/// (which defeat the Atomizer, per Section 6).
+#[test]
+fn fork_join_synchronization_is_understood() {
+    let mut b = TraceBuilder::new();
+    b.begin("T1", "prepare").write("T1", "x").end("T1");
+    b.fork("T1", "T2");
+    b.begin("T2", "consume").read("T2", "x").write("T2", "y").end("T2");
+    b.join("T1", "T2");
+    b.begin("T1", "collect").read("T1", "y").write("T1", "x").end("T1");
+    let trace = b.finish();
+    assert!(oracle::is_serializable(&trace));
+    let (warnings, _) = check_all(&trace);
+    assert!(warnings.is_empty(), "{warnings:?}");
+}
+
+/// Without the fork edge the same interleaving *is* a violation — the
+/// ordering really comes from fork/join, not luck.
+#[test]
+fn missing_fork_edge_would_be_a_violation() {
+    let mut b = TraceBuilder::new();
+    b.begin("T1", "outer").write("T1", "x");
+    b.begin("T2", "consume").read("T2", "x").write("T2", "y").end("T2");
+    b.read("T1", "y").end("T1");
+    let (warnings, _) = check_all(&b.finish());
+    assert_eq!(warnings.len(), 1);
+}
+
+/// An open (unclosed) transaction at the end of the trace still has its
+/// violations detected before the trace ends.
+#[test]
+fn unclosed_transaction_violation_detected() {
+    let mut b = TraceBuilder::new();
+    b.begin("T1", "open").read("T1", "x");
+    b.write("T2", "x");
+    b.write("T1", "x"); // no end: trace stops here
+    let (warnings, _) = check_all(&b.finish());
+    assert_eq!(warnings.len(), 1);
+}
+
+/// Re-running the default entry point works on a trace without names.
+#[test]
+fn check_trace_smoke() {
+    let mut b = TraceBuilder::new();
+    b.begin("T1", "inc").read("T1", "x");
+    b.write("T2", "x");
+    b.write("T1", "x").end("T1");
+    assert_eq!(check_trace(&b.finish()).len(), 1);
+}
+
+/// Long-running interleaved workload with locks, unary traffic, and nested
+/// blocks keeps all internal invariants.
+#[test]
+fn stress_invariants_hold() {
+    let mut b = TraceBuilder::new();
+    for i in 0..500 {
+        match i % 5 {
+            0 => {
+                b.begin("T1", "m1").acquire("T1", "l").read("T1", "s");
+                b.write("T1", "s").release("T1", "l").end("T1");
+            }
+            1 => {
+                b.begin("T2", "m2").acquire("T2", "l").read("T2", "s");
+                b.write("T2", "s").release("T2", "l").end("T2");
+            }
+            2 => {
+                b.read("T3", "s");
+            }
+            3 => {
+                b.begin("T3", "m3").begin("T3", "m4").read("T3", "t");
+                b.write("T3", "t").end("T3").end("T3");
+            }
+            _ => {
+                b.write("T1", "private1");
+                b.write("T2", "private2");
+            }
+        }
+    }
+    let trace = b.finish();
+    let cfg = VelodromeConfig { names: trace.names().clone(), ..VelodromeConfig::default() };
+    let mut engine = Velodrome::with_config(cfg);
+    for (i, op) in trace.iter() {
+        engine.op(i, op);
+        if i % 100 == 0 {
+            engine.check_invariants();
+        }
+    }
+    engine.check_invariants();
+    let warnings = run_tool(&mut engine, &Trace::new());
+    assert!(warnings.is_empty(), "{warnings:?}");
+}

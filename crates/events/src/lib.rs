@@ -1,0 +1,43 @@
+//! Event model and trace semantics for the Velodrome atomicity checker.
+//!
+//! This crate defines the shared vocabulary of the whole workspace:
+//!
+//! * [`ids`] — identifier newtypes for threads, variables, locks, and
+//!   atomic-block labels, plus a [`SymbolTable`] for report rendering;
+//! * [`op`] — the [`Op`] operation type (Figure 1 of the paper) and the
+//!   conflict/commutativity predicate (Section 2);
+//! * [`trace`] — [`Trace`] sequences and the name-interning
+//!   [`TraceBuilder`];
+//! * [`semantics`] — well-formedness of traces under the multithreaded
+//!   semantics (lock discipline, block nesting, fork/join ordering);
+//! * [`txn`] — segmentation of a trace into transactions
+//!   ([`Transactions`]);
+//! * [`oracle`] — an offline, from-first-principles serializability
+//!   decision procedure used as differential-testing ground truth.
+//!
+//! # Example
+//!
+//! ```
+//! use velodrome_events::{oracle, TraceBuilder};
+//!
+//! // An interleaved read-modify-write is not serializable.
+//! let mut b = TraceBuilder::new();
+//! b.begin("T1", "inc").read("T1", "x");
+//! b.write("T2", "x");
+//! b.write("T1", "x").end("T1");
+//! assert!(!oracle::is_serializable(&b.finish()));
+//! ```
+
+pub mod ids;
+pub mod op;
+pub mod oracle;
+pub mod semantics;
+pub mod stats;
+pub mod trace;
+pub mod txn;
+
+pub use ids::{Label, LockId, SymbolTable, ThreadId, VarId};
+pub use op::Op;
+pub use stats::TraceStats;
+pub use trace::{Trace, TraceBuilder};
+pub use txn::{Transactions, TxnId, TxnInfo};

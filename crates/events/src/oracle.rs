@@ -1,0 +1,634 @@
+//! Offline serializability oracle.
+//!
+//! This module decides conflict-serializability of a *complete* trace from
+//! first principles, independently of the online Velodrome analysis, so it
+//! can serve as differential-testing ground truth:
+//!
+//! * [`check`] builds the full transaction conflict graph — an edge `A → B`
+//!   for every pair of conflicting operations `a ∈ A`, `b ∈ B`, `a` before
+//!   `b`, `A ≠ B` — and reports a cycle if one exists. By the classical
+//!   database result (Bernstein et al.) the trace is serializable iff this
+//!   graph is acyclic. This implementation is deliberately naive (`O(n²)`
+//!   over operations) and shares no code with the online analysis.
+//! * [`serial_equivalent_exists`] exhaustively searches the space of traces
+//!   reachable by swapping adjacent commuting operations, looking for a
+//!   serial one — a direct transcription of the *definition* of
+//!   serializability, usable only on tiny traces.
+
+use crate::op::Op;
+use crate::trace::Trace;
+use crate::txn::{Transactions, TxnId};
+use std::collections::{HashSet, VecDeque};
+
+/// Outcome of the offline serializability check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SerializabilityResult {
+    /// `true` when the trace is conflict-serializable.
+    pub serializable: bool,
+    /// A witness cycle of transactions when not serializable
+    /// (`cycle[i] → cycle[i+1]`, and the last element points back to the
+    /// first).
+    pub cycle: Option<Vec<TxnId>>,
+}
+
+/// Decides conflict-serializability of `trace` by building the full
+/// transaction conflict graph and searching for a cycle.
+///
+/// # Examples
+///
+/// ```
+/// use velodrome_events::{oracle, TraceBuilder};
+///
+/// let mut b = TraceBuilder::new();
+/// b.begin("T1", "inc").read("T1", "x");
+/// b.write("T2", "x");
+/// b.write("T1", "x").end("T1");
+/// let result = oracle::check(&b.finish());
+/// assert!(!result.serializable);
+/// assert_eq!(result.cycle.unwrap().len(), 2);
+/// ```
+pub fn check(trace: &Trace) -> SerializabilityResult {
+    let txns = Transactions::segment(trace);
+    check_segmented(trace, &txns)
+}
+
+/// [`check`] with a precomputed transaction segmentation.
+pub fn check_segmented(trace: &Trace, txns: &Transactions) -> SerializabilityResult {
+    let n = txns.len();
+    let mut adj: Vec<HashSet<u32>> = vec![HashSet::new(); n];
+    let ops = trace.ops();
+    for i in 0..ops.len() {
+        for j in (i + 1)..ops.len() {
+            let (ti, tj) = (txns.txn_of(i), txns.txn_of(j));
+            if ti != tj && ops[i].conflicts_with(ops[j]) {
+                adj[ti.index()].insert(tj.index() as u32);
+            }
+        }
+    }
+    match find_cycle(&adj) {
+        Some(cycle) => SerializabilityResult {
+            serializable: false,
+            cycle: Some(cycle.into_iter().map(TxnId::new).collect()),
+        },
+        None => SerializabilityResult { serializable: true, cycle: None },
+    }
+}
+
+/// Convenience wrapper: `true` iff `trace` is conflict-serializable.
+pub fn is_serializable(trace: &Trace) -> bool {
+    check(trace).serializable
+}
+
+/// Iterative three-color DFS returning a witness cycle, if any.
+fn find_cycle(adj: &[HashSet<u32>]) -> Option<Vec<u32>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let n = adj.len();
+    let mut color = vec![Color::White; n];
+    let mut parent: Vec<Option<u32>> = vec![None; n];
+
+    for root in 0..n {
+        if color[root] != Color::White {
+            continue;
+        }
+        // Stack holds (node, iterator position over its successors).
+        let mut stack: Vec<(u32, Vec<u32>, usize)> = Vec::new();
+        let mut succs: Vec<u32> = adj[root].iter().copied().collect();
+        succs.sort_unstable();
+        color[root] = Color::Gray;
+        stack.push((root as u32, succs, 0));
+        while let Some((node, succs, pos)) = stack.last_mut() {
+            if *pos >= succs.len() {
+                color[*node as usize] = Color::Black;
+                stack.pop();
+                continue;
+            }
+            let next = succs[*pos];
+            *pos += 1;
+            match color[next as usize] {
+                Color::White => {
+                    parent[next as usize] = Some(*node);
+                    color[next as usize] = Color::Gray;
+                    let mut s: Vec<u32> = adj[next as usize].iter().copied().collect();
+                    s.sort_unstable();
+                    stack.push((next, s, 0));
+                }
+                Color::Gray => {
+                    // Found a back edge node -> next; reconstruct the cycle.
+                    let mut cycle = vec![next];
+                    let mut cur = *node;
+                    while cur != next {
+                        cycle.push(cur);
+                        cur = parent[cur as usize].expect("gray node must have parent on path");
+                    }
+                    cycle.reverse();
+                    return Some(cycle);
+                }
+                Color::Black => {}
+            }
+        }
+    }
+    None
+}
+
+/// Returns `true` when every transaction's operations are contiguous in the
+/// trace (the paper's definition of a *serial* trace).
+pub fn is_serial(trace: &Trace) -> bool {
+    let txns = Transactions::segment(trace);
+    let mut finished: HashSet<TxnId> = HashSet::new();
+    let mut current: Option<TxnId> = None;
+    for i in 0..trace.len() {
+        let t = txns.txn_of(i);
+        if current == Some(t) {
+            continue;
+        }
+        if finished.contains(&t) {
+            return false;
+        }
+        if let Some(prev) = current {
+            finished.insert(prev);
+        }
+        current = Some(t);
+    }
+    true
+}
+
+/// Error returned by [`serial_equivalent_exists`] when the search space is
+/// too large to enumerate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchBudgetExceeded;
+
+impl std::fmt::Display for SearchBudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "brute-force serializability search budget exceeded")
+    }
+}
+
+impl std::error::Error for SearchBudgetExceeded {}
+
+/// Exhaustively decides serializability *by definition*: breadth-first search
+/// over all traces reachable by swapping adjacent commuting operations,
+/// returning `Ok(true)` if any reachable trace is serial.
+///
+/// Only suitable for very small traces; `max_states` bounds the number of
+/// distinct permutations visited before giving up with
+/// [`SearchBudgetExceeded`].
+pub fn serial_equivalent_exists(
+    trace: &Trace,
+    max_states: usize,
+) -> Result<bool, SearchBudgetExceeded> {
+    let initial: Vec<Op> = trace.ops().to_vec();
+    if is_serial_ops(&initial) {
+        return Ok(true);
+    }
+    let mut seen: HashSet<Vec<Op>> = HashSet::new();
+    let mut queue: VecDeque<Vec<Op>> = VecDeque::new();
+    seen.insert(initial.clone());
+    queue.push_back(initial);
+    while let Some(ops) = queue.pop_front() {
+        for i in 0..ops.len().saturating_sub(1) {
+            if ops[i].commutes_with(ops[i + 1]) {
+                let mut next = ops.clone();
+                next.swap(i, i + 1);
+                if seen.contains(&next) {
+                    continue;
+                }
+                if is_serial_ops(&next) {
+                    return Ok(true);
+                }
+                if seen.len() >= max_states {
+                    return Err(SearchBudgetExceeded);
+                }
+                seen.insert(next.clone());
+                queue.push_back(next);
+            }
+        }
+    }
+    Ok(false)
+}
+
+fn is_serial_ops(ops: &[Op]) -> bool {
+    is_serial(&Trace::from_ops(ops.iter().copied()))
+}
+
+/// The reads-from and final-write structure of a trace, used to decide
+/// *view* equivalence. Operations are identified by `(transaction, k)` —
+/// the `k`-th operation of a transaction — which is stable across
+/// reorderings of whole transactions.
+#[derive(Debug, PartialEq, Eq)]
+struct ViewStructure {
+    /// For each read (txn, k): the write `(txn, k)` it reads from, or
+    /// `None` for the initial value.
+    reads_from: Vec<((u32, u32), Option<(u32, u32)>)>,
+    /// Final writer per variable.
+    final_writes: Vec<(u32, (u32, u32))>,
+}
+
+fn view_structure(ops: &[(Op, u32, u32)]) -> ViewStructure {
+    use std::collections::HashMap;
+    let mut last_write: HashMap<u32, (u32, u32)> = HashMap::new();
+    let mut reads_from = Vec::new();
+    for &(op, txn, k) in ops {
+        match op {
+            Op::Read { x, .. } => {
+                reads_from.push(((txn, k), last_write.get(&x.raw()).copied()));
+            }
+            Op::Write { x, .. } => {
+                last_write.insert(x.raw(), (txn, k));
+            }
+            _ => {}
+        }
+    }
+    let mut final_writes: Vec<(u32, (u32, u32))> = last_write.into_iter().collect();
+    final_writes.sort_unstable();
+    reads_from.sort_unstable();
+    ViewStructure { reads_from, final_writes }
+}
+
+/// Decides *view serializability* by brute force: does some serial order of
+/// the transactions have the same reads-from relation and the same final
+/// writes as the observed trace?
+///
+/// View serializability is strictly weaker than conflict serializability
+/// (blind writes can make a conflict-cyclic trace view-serializable); the
+/// paper's related work (Wang & Stoller) distinguishes the corresponding
+/// notions of conflict- and view-atomicity. Deciding it is NP-complete, so
+/// this enumerates all `n!` transaction orders and is only usable for tiny
+/// traces; `max_orders` bounds the enumeration.
+pub fn view_serializable(
+    trace: &Trace,
+    max_orders: usize,
+) -> Result<bool, SearchBudgetExceeded> {
+    let txns = Transactions::segment(trace);
+    let n = txns.len();
+    // Tag every op with (txn, position-within-txn).
+    let mut within: std::collections::HashMap<TxnId, u32> = std::collections::HashMap::new();
+    let tagged: Vec<(Op, u32, u32)> = trace
+        .iter()
+        .map(|(i, op)| {
+            let t = txns.txn_of(i);
+            let k = within.entry(t).or_insert(0);
+            let tag = (op, t.index() as u32, *k);
+            *k += 1;
+            tag
+        })
+        .collect();
+    let original = view_structure(&tagged);
+
+    // Group ops per transaction, in order.
+    let mut per_txn: Vec<Vec<(Op, u32, u32)>> = vec![Vec::new(); n];
+    for &t in &tagged {
+        per_txn[t.1 as usize].push(t);
+    }
+
+    // Heap's algorithm over transaction orderings.
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut c = vec![0usize; n];
+    let mut tried = 0usize;
+    let check = |order: &[usize]| -> bool {
+        let serial: Vec<(Op, u32, u32)> =
+            order.iter().flat_map(|&t| per_txn[t].iter().copied()).collect();
+        view_structure(&serial) == original
+    };
+    if check(&order) {
+        return Ok(true);
+    }
+    tried += 1;
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                order.swap(0, i);
+            } else {
+                order.swap(c[i], i);
+            }
+            if check(&order) {
+                return Ok(true);
+            }
+            tried += 1;
+            if tried >= max_orders {
+                return Err(SearchBudgetExceeded);
+            }
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    Ok(false)
+}
+
+/// Exhaustively decides whether transaction `txn` is *self-serializable* in
+/// `trace` (Section 4.3): does some equivalent trace execute `txn`'s
+/// operations contiguously? Other transactions need not be serial in that
+/// witness, so self-serializability of every transaction does **not** imply
+/// serializability of the trace.
+///
+/// Breadth-first search over adjacent commuting swaps, bounded by
+/// `max_states` distinct permutations.
+pub fn self_serializable(
+    trace: &Trace,
+    txn: TxnId,
+    max_states: usize,
+) -> Result<bool, SearchBudgetExceeded> {
+    let txns = Transactions::segment(trace);
+    // Tag each operation with its transaction so permutations keep
+    // operation identity (same-thread order is preserved by commuting
+    // swaps, so the tagging stays consistent).
+    let initial: Vec<(Op, u32)> = trace
+        .iter()
+        .map(|(i, op)| (op, txns.txn_of(i).index() as u32))
+        .collect();
+    let target = txn.index() as u32;
+    let contiguous = |state: &[(Op, u32)]| {
+        let mut seen_block = false;
+        let mut inside = false;
+        for (_, t) in state {
+            if *t == target {
+                if seen_block && !inside {
+                    return false;
+                }
+                seen_block = true;
+                inside = true;
+            } else {
+                inside = false;
+            }
+        }
+        true
+    };
+    if contiguous(&initial) {
+        return Ok(true);
+    }
+    let mut seen: HashSet<Vec<(Op, u32)>> = HashSet::new();
+    let mut queue: VecDeque<Vec<(Op, u32)>> = VecDeque::new();
+    seen.insert(initial.clone());
+    queue.push_back(initial);
+    while let Some(state) = queue.pop_front() {
+        for i in 0..state.len().saturating_sub(1) {
+            if state[i].0.commutes_with(state[i + 1].0) {
+                let mut next = state.clone();
+                next.swap(i, i + 1);
+                if seen.contains(&next) {
+                    continue;
+                }
+                if contiguous(&next) {
+                    return Ok(true);
+                }
+                if seen.len() >= max_states {
+                    return Err(SearchBudgetExceeded);
+                }
+                seen.insert(next.clone());
+                queue.push_back(next);
+            }
+        }
+    }
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceBuilder;
+
+    fn rmw_interleaved() -> Trace {
+        // Section 2 example: read-modify-write with interleaved write.
+        let mut b = TraceBuilder::new();
+        b.begin("T1", "inc").read("T1", "x");
+        b.write("T2", "x");
+        b.write("T1", "x").end("T1");
+        b.finish()
+    }
+
+    #[test]
+    fn rmw_interleaved_not_serializable() {
+        let trace = rmw_interleaved();
+        let result = check(&trace);
+        assert!(!result.serializable);
+        let cycle = result.cycle.unwrap();
+        assert!(cycle.len() >= 2);
+    }
+
+    #[test]
+    fn rmw_matches_bruteforce_definition() {
+        let trace = rmw_interleaved();
+        assert_eq!(serial_equivalent_exists(&trace, 100_000), Ok(false));
+    }
+
+    #[test]
+    fn serial_trace_is_serializable() {
+        let mut b = TraceBuilder::new();
+        b.begin("T1", "inc").read("T1", "x").write("T1", "x").end("T1");
+        b.begin("T2", "inc").read("T2", "x").write("T2", "x").end("T2");
+        let trace = b.finish();
+        assert!(is_serial(&trace));
+        assert!(is_serializable(&trace));
+    }
+
+    #[test]
+    fn commutable_interleaving_is_serializable_but_not_serial() {
+        let mut b = TraceBuilder::new();
+        b.begin("T1", "p").read("T1", "x");
+        b.write("T2", "y"); // touches a different variable: commutes
+        b.write("T1", "x").end("T1");
+        let trace = b.finish();
+        assert!(!is_serial(&trace));
+        let result = check(&trace);
+        assert!(result.serializable);
+        assert_eq!(serial_equivalent_exists(&trace, 100_000), Ok(true));
+    }
+
+    #[test]
+    fn lock_protected_increments_are_serializable() {
+        let mut b = TraceBuilder::new();
+        b.begin("T1", "inc").acquire("T1", "m").read("T1", "x");
+        b.write("T1", "x").release("T1", "m").end("T1");
+        b.begin("T2", "inc").acquire("T2", "m").read("T2", "x");
+        b.write("T2", "x").release("T2", "m").end("T2");
+        assert!(is_serializable(&b.finish()));
+    }
+
+    #[test]
+    fn paper_cycle_minimal() {
+        // Minimal three-transaction cycle in the spirit of the introduction:
+        // A -> B via rel/acq(m), B -> C via wr/rd(y), C -> A via wr/rd(x).
+        let mut b = TraceBuilder::new();
+        b.begin("T1", "A").acquire("T1", "m").release("T1", "m"); // A releases m
+        b.begin("T2", "B").acquire("T2", "m").write("T2", "y").end("T2"); // B
+        b.begin("T3", "C").read("T3", "y").write("T3", "x").end("T3"); // C
+        b.read("T1", "x").end("T1"); // A reads x written by C
+        let trace = b.finish();
+        let result = check(&trace);
+        assert!(!result.serializable);
+        assert_eq!(result.cycle.as_ref().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn self_serializable_pair_is_not_serializable_together() {
+        // Section 4.3: two transactions, each self-serializable, whose
+        // combination is not serializable. E: rd x .. wr y interleaved with
+        // D: wr x .. rd y — each can be serialized on its own but the pair
+        // forms a two-cycle.
+        let mut b = TraceBuilder::new();
+        b.begin("T1", "E").read("T1", "x");
+        b.begin("T2", "D").write("T2", "x").read("T2", "y").end("T2");
+        b.write("T1", "y").end("T1");
+        let trace = b.finish();
+        let result = check(&trace);
+        assert!(!result.serializable);
+        assert_eq!(serial_equivalent_exists(&trace, 1_000_000), Ok(false));
+    }
+
+    #[test]
+    fn fork_join_orders_transactions() {
+        // Parent writes x, forks child which reads x: ordered, serializable.
+        let mut b = TraceBuilder::new();
+        b.write("T1", "x").fork("T1", "T2").read("T2", "x").join("T1", "T2");
+        b.read("T1", "x");
+        assert!(is_serializable(&b.finish()));
+    }
+
+    #[test]
+    fn empty_trace_is_serializable() {
+        assert!(is_serializable(&Trace::new()));
+        assert!(is_serial(&Trace::new()));
+    }
+
+    #[test]
+    fn bruteforce_budget_error() {
+        // A long trace of pairwise-commuting ops explodes combinatorially.
+        let mut b = TraceBuilder::new();
+        for i in 0..4 {
+            for t in 0..4 {
+                b.read(&format!("T{t}"), &format!("v{t}_{i}"));
+            }
+        }
+        // Make it non-serial so the early return does not trigger.
+        b.begin("T0", "p").read("T0", "a");
+        b.read("T1", "b");
+        b.read("T0", "a").end("T0");
+        let trace = b.finish();
+        assert_eq!(serial_equivalent_exists(&trace, 10), Err(SearchBudgetExceeded));
+    }
+
+    #[test]
+    fn self_serializable_distinguishes_transactions() {
+        // Section 4.3 paper shape: E: rd x .. wr y interleaved with
+        // D: wr x .. rd y — D is not self-serializable, while the write by
+        // another thread is trivially self-serializable (unary).
+        let mut b = TraceBuilder::new();
+        b.begin("T1", "D").read("T1", "x");
+        b.write("T2", "x");
+        b.write("T1", "x").end("T1");
+        let trace = b.finish();
+        // txn0 = D, txn1 = unary write.
+        assert_eq!(self_serializable(&trace, TxnId::new(0), 1_000_000), Ok(false));
+        assert_eq!(self_serializable(&trace, TxnId::new(1), 1_000_000), Ok(true));
+    }
+
+    #[test]
+    fn self_serializable_pair_both_self_serializable() {
+        // The Section 4.3 example: both transactions are self-serializable
+        // even though together they are not serializable.
+        let mut b = TraceBuilder::new();
+        b.begin("T1", "D").write("T1", "x");
+        b.begin("T2", "E").write("T2", "y");
+        b.read("T1", "y").end("T1");
+        b.read("T2", "x").end("T2");
+        let trace = b.finish();
+        assert!(!is_serializable(&trace));
+        assert_eq!(self_serializable(&trace, TxnId::new(0), 1_000_000), Ok(true));
+        assert_eq!(self_serializable(&trace, TxnId::new(1), 1_000_000), Ok(true));
+    }
+
+    #[test]
+    fn self_serializable_in_serial_trace() {
+        let mut b = TraceBuilder::new();
+        b.begin("T1", "p").read("T1", "x").end("T1");
+        b.begin("T2", "q").write("T2", "x").end("T2");
+        let trace = b.finish();
+        assert_eq!(self_serializable(&trace, TxnId::new(0), 1_000), Ok(true));
+        assert_eq!(self_serializable(&trace, TxnId::new(1), 1_000), Ok(true));
+    }
+
+    #[test]
+    fn blind_writes_separate_view_from_conflict_serializability() {
+        // The classic example: T1 = {rd x, wr x}, T2 = {wr x}, T3 = {wr x},
+        // interleaved rd1 wr2 wr1 wr3. Conflict-cyclic (T1 ⇄ T2), but the
+        // serial order T1 T2 T3 preserves reads-from (rd1 reads the initial
+        // value) and the final write (T3): view-serializable.
+        let mut b = TraceBuilder::new();
+        b.begin("T1", "a").read("T1", "x");
+        b.begin("T2", "b").write("T2", "x").end("T2");
+        b.write("T1", "x").end("T1");
+        b.begin("T3", "c").write("T3", "x").end("T3");
+        let trace = b.finish();
+        assert!(!is_serializable(&trace), "conflict-cyclic");
+        assert_eq!(view_serializable(&trace, 1_000_000), Ok(true), "but view-serializable");
+    }
+
+    #[test]
+    fn conflict_serializable_implies_view_serializable() {
+        let mut b = TraceBuilder::new();
+        b.begin("T1", "p").read("T1", "x");
+        b.write("T2", "y");
+        b.write("T1", "x").end("T1");
+        let trace = b.finish();
+        assert!(is_serializable(&trace));
+        assert_eq!(view_serializable(&trace, 1_000_000), Ok(true));
+    }
+
+    #[test]
+    fn rmw_is_not_view_serializable_either() {
+        let mut b = TraceBuilder::new();
+        b.begin("T1", "inc").read("T1", "x");
+        b.write("T2", "x");
+        b.write("T1", "x").end("T1");
+        let trace = b.finish();
+        // The interleaved write changes what a serial T1 would read.
+        assert_eq!(view_serializable(&trace, 1_000_000), Ok(false));
+    }
+
+    #[test]
+    fn view_budget_is_enforced() {
+        let mut b = TraceBuilder::new();
+        for t in 0..8 {
+            let name = format!("T{t}");
+            b.begin(&name, "w").write(&name, "x").end(&name);
+        }
+        b.begin("T0", "q").read("T0", "x");
+        b.write("T1", "x");
+        b.write("T0", "x").end("T0");
+        let trace = b.finish();
+        assert_eq!(view_serializable(&trace, 10), Err(SearchBudgetExceeded));
+    }
+
+    #[test]
+    fn oracle_agrees_with_bruteforce_on_small_cases() {
+        let cases: Vec<Trace> = vec![
+            rmw_interleaved(),
+            {
+                let mut b = TraceBuilder::new();
+                b.begin("T1", "p").read("T1", "x");
+                b.write("T2", "y");
+                b.write("T1", "x").end("T1");
+                b.finish()
+            },
+            {
+                let mut b = TraceBuilder::new();
+                b.begin("T1", "p").write("T1", "x").end("T1");
+                b.begin("T2", "q").read("T2", "x").end("T2");
+                b.finish()
+            },
+        ];
+        for trace in cases {
+            let fast = is_serializable(&trace);
+            let slow = serial_equivalent_exists(&trace, 1_000_000).unwrap();
+            assert_eq!(fast, slow, "oracle mismatch on trace:\n{trace}");
+        }
+    }
+}

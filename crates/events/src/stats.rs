@@ -1,0 +1,175 @@
+//! Descriptive statistics over traces, for reports and diagnostics.
+
+use crate::op::Op;
+use crate::trace::Trace;
+use crate::txn::Transactions;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Summary statistics of a trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total operations.
+    pub ops: usize,
+    /// Memory reads.
+    pub reads: usize,
+    /// Memory writes.
+    pub writes: usize,
+    /// Lock acquires.
+    pub acquires: usize,
+    /// Lock releases.
+    pub releases: usize,
+    /// Atomic-block entries.
+    pub begins: usize,
+    /// Atomic-block exits.
+    pub ends: usize,
+    /// Thread forks.
+    pub forks: usize,
+    /// Thread joins.
+    pub joins: usize,
+    /// Distinct threads.
+    pub threads: usize,
+    /// Distinct variables accessed.
+    pub vars: usize,
+    /// Distinct locks used.
+    pub locks: usize,
+    /// Total transactions (including unary).
+    pub transactions: usize,
+    /// Unary transactions (operations outside atomic blocks).
+    pub unary_transactions: usize,
+    /// Largest number of operations in one transaction.
+    pub max_transaction_ops: usize,
+    /// Deepest atomic-block nesting observed.
+    pub max_nesting: usize,
+}
+
+impl TraceStats {
+    /// Computes statistics for a trace.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use velodrome_events::{TraceBuilder, TraceStats};
+    ///
+    /// let mut b = TraceBuilder::new();
+    /// b.begin("T1", "m").read("T1", "x").end("T1");
+    /// b.write("T2", "x");
+    /// let stats = TraceStats::compute(&b.finish());
+    /// assert_eq!(stats.transactions, 2);
+    /// assert_eq!(stats.unary_transactions, 1);
+    /// ```
+    pub fn compute(trace: &Trace) -> Self {
+        let mut s = TraceStats { ops: trace.len(), ..TraceStats::default() };
+        let mut vars = HashSet::new();
+        let mut locks = HashSet::new();
+        let mut depth: std::collections::HashMap<_, usize> = std::collections::HashMap::new();
+        for (_, op) in trace.iter() {
+            if let Some(x) = op.var() {
+                vars.insert(x);
+            }
+            if let Some(m) = op.lock() {
+                locks.insert(m);
+            }
+            match op {
+                Op::Read { .. } => s.reads += 1,
+                Op::Write { .. } => s.writes += 1,
+                Op::Acquire { .. } => s.acquires += 1,
+                Op::Release { .. } => s.releases += 1,
+                Op::Begin { t, .. } => {
+                    s.begins += 1;
+                    let d = depth.entry(t).or_insert(0);
+                    *d += 1;
+                    s.max_nesting = s.max_nesting.max(*d);
+                }
+                Op::End { t } => {
+                    s.ends += 1;
+                    let d = depth.entry(t).or_insert(0);
+                    *d = d.saturating_sub(1);
+                }
+                Op::Fork { .. } => s.forks += 1,
+                Op::Join { .. } => s.joins += 1,
+            }
+        }
+        s.threads = trace.threads().len();
+        s.vars = vars.len();
+        s.locks = locks.len();
+        let txns = Transactions::segment(trace);
+        s.transactions = txns.len();
+        s.unary_transactions = txns.txns().iter().filter(|t| t.unary).count();
+        s.max_transaction_ops =
+            txns.txns().iter().map(|t| t.op_count).max().unwrap_or(0);
+        s
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} ops: {} rd, {} wr, {} acq, {} rel, {} begin, {} end, {} fork, {} join",
+            self.ops,
+            self.reads,
+            self.writes,
+            self.acquires,
+            self.releases,
+            self.begins,
+            self.ends,
+            self.forks,
+            self.joins
+        )?;
+        writeln!(
+            f,
+            "{} threads, {} variables, {} locks",
+            self.threads, self.vars, self.locks
+        )?;
+        write!(
+            f,
+            "{} transactions ({} unary), largest {} ops, max nesting {}",
+            self.transactions, self.unary_transactions, self.max_transaction_ops, self.max_nesting
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceBuilder;
+
+    #[test]
+    fn counts_every_kind() {
+        let mut b = TraceBuilder::new();
+        b.begin("T1", "p").begin("T1", "q");
+        b.acquire("T1", "m").read("T1", "x").write("T1", "x").release("T1", "m");
+        b.end("T1").end("T1");
+        b.fork("T1", "T2").read("T2", "y").join("T1", "T2");
+        let stats = TraceStats::compute(&b.finish());
+        assert_eq!(stats.ops, 11);
+        assert_eq!((stats.reads, stats.writes), (2, 1));
+        assert_eq!((stats.acquires, stats.releases), (1, 1));
+        assert_eq!((stats.begins, stats.ends), (2, 2));
+        assert_eq!((stats.forks, stats.joins), (1, 1));
+        assert_eq!(stats.threads, 2);
+        assert_eq!(stats.vars, 2);
+        assert_eq!(stats.locks, 1);
+        assert_eq!(stats.max_nesting, 2);
+        // One 8-op transaction plus fork/read/join unary transactions.
+        assert_eq!(stats.transactions, 4);
+        assert_eq!(stats.unary_transactions, 3);
+        assert_eq!(stats.max_transaction_ops, 8);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let stats = TraceStats::compute(&Trace::new());
+        assert_eq!(stats, TraceStats::default());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let mut b = TraceBuilder::new();
+        b.read("T1", "x");
+        let shown = TraceStats::compute(&b.finish()).to_string();
+        assert!(shown.contains("1 ops"));
+        assert!(shown.contains("1 transactions (1 unary)"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests over arbitrary operation sequences: the event
+//! model's invariants must hold even for traces no well-behaved program
+//! would produce (segmentation and the oracle are total functions).
+
+use proptest::prelude::*;
+use velodrome_events::{oracle, Label, LockId, Op, ThreadId, Trace, TraceStats, Transactions, VarId};
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let t = (0u32..4).prop_map(ThreadId::new);
+    let x = (0u32..3).prop_map(VarId::new);
+    let m = (0u32..2).prop_map(LockId::new);
+    let l = (0u32..3).prop_map(Label::new);
+    prop_oneof![
+        (t.clone(), x.clone()).prop_map(|(t, x)| Op::Read { t, x }),
+        (t.clone(), x).prop_map(|(t, x)| Op::Write { t, x }),
+        (t.clone(), m.clone()).prop_map(|(t, m)| Op::Acquire { t, m }),
+        (t.clone(), m).prop_map(|(t, m)| Op::Release { t, m }),
+        (t.clone(), l).prop_map(|(t, l)| Op::Begin { t, l }),
+        t.prop_map(|t| Op::End { t }),
+    ]
+}
+
+fn arb_trace(max_len: usize) -> impl Strategy<Value = Trace> {
+    prop::collection::vec(arb_op(), 0..max_len).prop_map(Trace::from_ops)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The conflict relation is symmetric and reflexive.
+    #[test]
+    fn conflicts_symmetric_and_reflexive(a in arb_op(), b in arb_op()) {
+        prop_assert_eq!(a.conflicts_with(b), b.conflicts_with(a));
+        prop_assert!(a.conflicts_with(a), "same thread ⇒ self-conflict");
+    }
+
+    /// Segmentation covers every operation exactly once and transactions
+    /// are per-thread, ordered, and non-empty.
+    #[test]
+    fn segmentation_is_a_partition(trace in arb_trace(40)) {
+        let txns = Transactions::segment(&trace);
+        prop_assert_eq!(txns.op_txns().len(), trace.len());
+        let mut counted = 0;
+        for info in txns.txns() {
+            prop_assert!(info.op_count > 0, "transactions are non-empty");
+            prop_assert!(info.first_op <= info.last_op);
+            counted += info.op_count;
+            let ops = txns.ops_of(info.id);
+            prop_assert_eq!(ops.len(), info.op_count);
+            prop_assert_eq!(ops.first().copied(), Some(info.first_op));
+            prop_assert_eq!(ops.last().copied(), Some(info.last_op));
+            for &i in &ops {
+                // Every op of the transaction belongs to its thread.
+                prop_assert_eq!(trace.get(i).unwrap().tid(), info.thread);
+            }
+        }
+        prop_assert_eq!(counted, trace.len());
+    }
+
+    /// A serial trace is always serializable, and a trace whose threads
+    /// touch disjoint variables (no locks) is always serializable.
+    #[test]
+    fn disjoint_threads_are_serializable(ops in prop::collection::vec(
+        ((0u32..3), (0u32..2), any::<bool>()), 0..30))
+    {
+        let mut trace = Trace::new();
+        for (t, xi, w) in ops {
+            // Each thread gets its own variable namespace.
+            let x = VarId::new(t * 10 + xi);
+            let t = ThreadId::new(t);
+            trace.push(if w { Op::Write { t, x } } else { Op::Read { t, x } });
+        }
+        prop_assert!(oracle::is_serializable(&trace));
+    }
+
+    /// The oracle's witness cycle is genuine: consecutive transactions on
+    /// the cycle are connected by a conflicting operation pair in order.
+    #[test]
+    fn oracle_cycles_are_witnessed(trace in arb_trace(40)) {
+        let result = oracle::check(&trace);
+        if let Some(cycle) = result.cycle {
+            prop_assert!(!result.serializable);
+            prop_assert!(cycle.len() >= 2, "non-trivial cycle");
+            let txns = Transactions::segment(&trace);
+            for k in 0..cycle.len() {
+                let a = cycle[k];
+                let b = cycle[(k + 1) % cycle.len()];
+                prop_assert_ne!(a, b);
+                // There is a conflicting pair (i < j) with i ∈ a, j ∈ b.
+                let mut found = false;
+                'outer: for &i in &txns.ops_of(a) {
+                    for &j in &txns.ops_of(b) {
+                        if i < j
+                            && trace.get(i).unwrap().conflicts_with(trace.get(j).unwrap())
+                        {
+                            found = true;
+                            break 'outer;
+                        }
+                    }
+                }
+                prop_assert!(found, "edge {a} -> {b} has no witnessing conflict");
+            }
+        }
+    }
+
+    /// Statistics are internally consistent.
+    #[test]
+    fn stats_are_consistent(trace in arb_trace(50)) {
+        let s = TraceStats::compute(&trace);
+        prop_assert_eq!(
+            s.ops,
+            s.reads + s.writes + s.acquires + s.releases + s.begins + s.ends
+                + s.forks + s.joins
+        );
+        prop_assert!(s.unary_transactions <= s.transactions);
+        prop_assert!(s.max_transaction_ops <= s.ops);
+        let txns = Transactions::segment(&trace);
+        prop_assert_eq!(s.transactions, txns.len());
+    }
+
+    /// Conflict serializability implies view serializability (the classic
+    /// strict inclusion; the converse fails on blind writes).
+    #[test]
+    fn conflict_implies_view_serializable(trace in arb_trace(12)) {
+        prop_assume!(oracle::is_serializable(&trace));
+        if let Ok(view) = oracle::view_serializable(&trace, 50_000) {
+            prop_assert!(view, "conflict-serializable but not view-serializable:\n{trace}");
+        }
+    }
+
+    /// JSON serialization round-trips arbitrary traces.
+    #[test]
+    fn json_roundtrip(trace in arb_trace(30)) {
+        let back = Trace::from_json(&trace.to_json()).unwrap();
+        prop_assert_eq!(back.ops(), trace.ops());
+    }
+
+    /// Swapping one adjacent commuting pair never changes the verdict.
+    #[test]
+    fn single_swap_preserves_verdict(trace in arb_trace(25), pos in 0usize..24) {
+        let ops = trace.ops();
+        prop_assume!(ops.len() >= 2);
+        let i = pos % (ops.len() - 1);
+        prop_assume!(ops[i].commutes_with(ops[i + 1]));
+        let mut swapped: Vec<Op> = ops.to_vec();
+        swapped.swap(i, i + 1);
+        let swapped = Trace::from_ops(swapped);
+        prop_assert_eq!(
+            oracle::is_serializable(&trace),
+            oracle::is_serializable(&swapped)
+        );
+    }
+}

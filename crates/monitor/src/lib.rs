@@ -1,0 +1,27 @@
+//! RoadRunner-style event-stream monitoring framework.
+//!
+//! The paper's Velodrome prototype is a back-end of RoadRunner, which
+//! instruments Java bytecode at load time and forwards an event stream
+//! (lock acquires/releases, memory reads/writes, atomic-block entry/exit)
+//! to pluggable analyses. This crate reproduces that architecture for Rust:
+//!
+//! * [`tool`] — the [`Tool`] back-end trait, [`Warning`] diagnostics,
+//!   [`ToolChain`] for running several analyses over one stream, and the
+//!   paper's `Empty` baseline back-end;
+//! * [`spec`] — [`AtomicitySpec`], selecting which atomic blocks to check;
+//! * [`filter`] — RoadRunner's front-end filters (re-entrant lock
+//!   filtering, thread-local filtering) as tool combinators plus sound
+//!   offline variants;
+//! * [`shim`] — instrumentation shims ([`shim::Shared`], [`shim::TLock`],
+//!   [`shim::Runtime::atomic`]) so real multithreaded Rust code can be
+//!   monitored live, the substitution this reproduction uses in place of
+//!   bytecode rewriting.
+
+pub mod filter;
+pub mod shim;
+pub mod spec;
+pub mod tool;
+
+pub use filter::{ReentrantLockFilter, SpecFilter, ThreadLocalFilter};
+pub use spec::AtomicitySpec;
+pub use tool::{run_tool, EmptyTool, Tool, ToolChain, Warning, WarningCategory};

@@ -1,0 +1,85 @@
+//! Atomicity specifications: which atomic blocks a back-end should check.
+//!
+//! Velodrome "takes as input a compiled Java program and a specification of
+//! which methods in that program should be atomic" (Section 5). Our traces
+//! already carry `begin`/`end` markers for every *candidate* atomic block;
+//! the [`AtomicitySpec`] selects the subset whose serializability the
+//! back-end must verify. The paper uses two configurations:
+//!
+//! * *all methods atomic* — the Table 2 experiments; and
+//! * *only not-yet-refuted methods atomic* — the Table 1 performance runs,
+//!   which check only the methods that satisfied their specification.
+
+use std::collections::HashSet;
+use velodrome_events::Label;
+
+/// Selects which atomic-block labels to check.
+#[derive(Debug, Clone, Default)]
+pub enum AtomicitySpec {
+    /// Check every atomic block (Table 2 configuration).
+    #[default]
+    All,
+    /// Check only the listed labels.
+    Only(HashSet<Label>),
+    /// Check everything except the listed labels (Table 1 configuration:
+    /// exclude methods already known to be non-atomic).
+    Excluding(HashSet<Label>),
+}
+
+impl AtomicitySpec {
+    /// Checks every atomic block.
+    pub fn all() -> Self {
+        AtomicitySpec::All
+    }
+
+    /// Checks only the given labels.
+    pub fn only(labels: impl IntoIterator<Item = Label>) -> Self {
+        AtomicitySpec::Only(labels.into_iter().collect())
+    }
+
+    /// Checks everything except the given labels.
+    pub fn excluding(labels: impl IntoIterator<Item = Label>) -> Self {
+        AtomicitySpec::Excluding(labels.into_iter().collect())
+    }
+
+    /// Should a block with this label be treated as atomic and checked?
+    pub fn should_check(&self, label: Label) -> bool {
+        match self {
+            AtomicitySpec::All => true,
+            AtomicitySpec::Only(set) => set.contains(&label),
+            AtomicitySpec::Excluding(set) => !set.contains(&label),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_checks_everything() {
+        let spec = AtomicitySpec::all();
+        assert!(spec.should_check(Label::new(0)));
+        assert!(spec.should_check(Label::new(99)));
+    }
+
+    #[test]
+    fn only_checks_listed() {
+        let spec = AtomicitySpec::only([Label::new(1), Label::new(3)]);
+        assert!(!spec.should_check(Label::new(0)));
+        assert!(spec.should_check(Label::new(1)));
+        assert!(spec.should_check(Label::new(3)));
+    }
+
+    #[test]
+    fn excluding_skips_listed() {
+        let spec = AtomicitySpec::excluding([Label::new(2)]);
+        assert!(spec.should_check(Label::new(0)));
+        assert!(!spec.should_check(Label::new(2)));
+    }
+
+    #[test]
+    fn default_is_all() {
+        assert!(matches!(AtomicitySpec::default(), AtomicitySpec::All));
+    }
+}

@@ -1,0 +1,313 @@
+//! A small structured concurrent intermediate representation.
+//!
+//! Programs consist of a main thread (`T0`) that runs a setup prologue,
+//! forks a set of worker threads, joins them, and runs a teardown epilogue
+//! — the fork/join shape of the paper's benchmarks — while the workers'
+//! bodies interleave under a pluggable scheduler. Statements cover exactly
+//! the operations the Velodrome event model knows about: shared reads and
+//! writes, structured lock regions, structured atomic blocks, loops, and
+//! local compute (scheduler steps that emit no events).
+
+use velodrome_events::{Label, LockId, SymbolTable, VarId};
+use std::collections::HashMap;
+
+/// One statement of a thread body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// Read a shared variable.
+    Read(VarId),
+    /// Write a shared variable.
+    Write(VarId),
+    /// `synchronized(m) { body }` — structured lock region.
+    Sync(LockId, Vec<Stmt>),
+    /// `atomic l { body }` — structured atomic block (candidate method).
+    Atomic(Label, Vec<Stmt>),
+    /// Repeat the body a fixed number of times.
+    Loop(u32, Vec<Stmt>),
+    /// Local computation: consumes `n` scheduler steps, emits no events.
+    Compute(u32),
+}
+
+impl Stmt {
+    /// Number of events this statement emits when executed once.
+    pub fn event_count(&self) -> u64 {
+        match self {
+            Stmt::Read(_) | Stmt::Write(_) => 1,
+            Stmt::Sync(_, body) => 2 + body.iter().map(Stmt::event_count).sum::<u64>(),
+            Stmt::Atomic(_, body) => 2 + body.iter().map(Stmt::event_count).sum::<u64>(),
+            Stmt::Loop(n, body) => {
+                u64::from(*n) * body.iter().map(Stmt::event_count).sum::<u64>()
+            }
+            Stmt::Compute(_) => 0,
+        }
+    }
+}
+
+/// The body of one worker thread.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ThreadBody {
+    /// Statements executed in order.
+    pub stmts: Vec<Stmt>,
+}
+
+impl ThreadBody {
+    /// Creates a body from statements.
+    pub fn new(stmts: Vec<Stmt>) -> Self {
+        Self { stmts }
+    }
+}
+
+/// A complete concurrent program.
+///
+/// Workers are organized into sequential *phases*: the main thread forks
+/// every worker of a phase, joins them all, then moves to the next phase.
+/// Workers within one phase interleave freely; workers of different phases
+/// are fork/join-ordered. Most programs have a single phase; multi-phase
+/// programs model initialization rounds and barrier-style computations.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// Main-thread statements executed before forking the first phase.
+    pub setup: Vec<Stmt>,
+    /// Worker thread bodies per phase; threads are numbered `T1..=Tn`
+    /// consecutively across phases.
+    pub phases: Vec<Vec<ThreadBody>>,
+    /// Main-thread statements executed after joining the last phase.
+    pub teardown: Vec<Stmt>,
+    /// Human-readable names for reports.
+    pub names: SymbolTable,
+    /// Whether main emits explicit fork/join events (default `true`).
+    pub emit_fork_join: bool,
+}
+
+impl Program {
+    /// Creates an empty program with fork/join events enabled.
+    pub fn new() -> Self {
+        Self { emit_fork_join: true, ..Self::default() }
+    }
+
+    /// All worker bodies, flattened across phases in thread-id order.
+    pub fn workers(&self) -> impl Iterator<Item = &ThreadBody> {
+        self.phases.iter().flatten()
+    }
+
+    /// Total number of worker threads across all phases.
+    pub fn worker_count(&self) -> usize {
+        self.phases.iter().map(Vec::len).sum()
+    }
+
+    /// Total events the program emits (excluding fork/join bookkeeping).
+    pub fn event_count(&self) -> u64 {
+        let body: u64 =
+            self.workers().flat_map(|t| t.stmts.iter()).map(Stmt::event_count).sum();
+        let main: u64 = self
+            .setup
+            .iter()
+            .chain(self.teardown.iter())
+            .map(Stmt::event_count)
+            .sum();
+        body + main
+    }
+}
+
+/// Builds programs with name interning, mirroring
+/// [`velodrome_events::TraceBuilder`].
+///
+/// # Examples
+///
+/// ```
+/// use velodrome_sim::{ProgramBuilder, Stmt};
+///
+/// let mut p = ProgramBuilder::new();
+/// let x = p.var("counter");
+/// let m = p.lock("mutex");
+/// let inc = p.label("increment");
+/// let body = vec![Stmt::Atomic(
+///     inc,
+///     vec![Stmt::Sync(m, vec![Stmt::Read(x), Stmt::Write(x)])],
+/// )];
+/// p.worker(body.clone());
+/// p.worker(body);
+/// let program = p.finish();
+/// assert_eq!(program.worker_count(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    program: Program,
+    vars: HashMap<String, VarId>,
+    locks: HashMap<String, LockId>,
+    labels: HashMap<String, Label>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self { program: Program::new(), ..Self::default() }
+    }
+
+    /// Interns a shared-variable name.
+    pub fn var(&mut self, name: &str) -> VarId {
+        if let Some(&x) = self.vars.get(name) {
+            return x;
+        }
+        let x = VarId::new(self.vars.len() as u32);
+        self.vars.insert(name.to_owned(), x);
+        self.program.names.name_var(x, name);
+        x
+    }
+
+    /// Interns a lock name.
+    pub fn lock(&mut self, name: &str) -> LockId {
+        if let Some(&m) = self.locks.get(name) {
+            return m;
+        }
+        let m = LockId::new(self.locks.len() as u32);
+        self.locks.insert(name.to_owned(), m);
+        self.program.names.name_lock(m, name);
+        m
+    }
+
+    /// Interns an atomic-block label.
+    pub fn label(&mut self, name: &str) -> Label {
+        if let Some(&l) = self.labels.get(name) {
+            return l;
+        }
+        let l = Label::new(self.labels.len() as u32);
+        self.labels.insert(name.to_owned(), l);
+        self.program.names.name_label(l, name);
+        l
+    }
+
+    /// Number of labels interned so far.
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Appends a worker thread to the current (last) phase and returns its
+    /// global worker index.
+    pub fn worker(&mut self, stmts: Vec<Stmt>) -> usize {
+        if self.program.phases.is_empty() {
+            self.program.phases.push(Vec::new());
+        }
+        self.program.phases.last_mut().expect("phase exists").push(ThreadBody::new(stmts));
+        self.program.worker_count() - 1
+    }
+
+    /// Starts a new phase: workers added afterwards run only after every
+    /// worker of the previous phases has been joined.
+    pub fn new_phase(&mut self) {
+        // Avoid creating empty phases when called before any worker.
+        if self.program.phases.last().is_none_or(|p| !p.is_empty()) {
+            self.program.phases.push(Vec::new());
+        }
+    }
+
+    /// Sets the main-thread setup prologue.
+    pub fn setup(&mut self, stmts: Vec<Stmt>) {
+        self.program.setup = stmts;
+    }
+
+    /// Sets the main-thread teardown epilogue.
+    pub fn teardown(&mut self, stmts: Vec<Stmt>) {
+        self.program.teardown = stmts;
+    }
+
+    /// Consumes the builder, returning the program.
+    pub fn finish(mut self) -> Program {
+        self.program.phases.retain(|p| !p.is_empty());
+        let workers = self.program.worker_count();
+        let names = &mut self.program.names;
+        names.name_thread(velodrome_events::ThreadId::new(0), "main");
+        for i in 0..workers {
+            let t = velodrome_events::ThreadId::new(i as u32 + 1);
+            names.name_thread(t, format!("worker-{}", i + 1));
+        }
+        self.program
+    }
+}
+
+/// Convenience constructors for common statement shapes.
+pub mod dsl {
+    use super::Stmt;
+    use velodrome_events::{Label, LockId, VarId};
+
+    /// `synchronized(m) { read x; write x }` — a locked read-modify-write.
+    pub fn locked_rmw(m: LockId, x: VarId) -> Stmt {
+        Stmt::Sync(m, vec![Stmt::Read(x), Stmt::Write(x)])
+    }
+
+    /// `read x; write x` — an unprotected read-modify-write.
+    pub fn bare_rmw(x: VarId) -> Stmt {
+        Stmt::Loop(1, vec![Stmt::Read(x), Stmt::Write(x)])
+    }
+
+    /// An atomic block around a sequence of statements.
+    pub fn atomic(l: Label, body: Vec<Stmt>) -> Stmt {
+        Stmt::Atomic(l, body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_interns_names() {
+        let mut b = ProgramBuilder::new();
+        let x1 = b.var("x");
+        let x2 = b.var("x");
+        assert_eq!(x1, x2);
+        let y = b.var("y");
+        assert_ne!(x1, y);
+        let p = b.finish();
+        assert_eq!(p.names.var(x1), "x");
+        assert_eq!(p.worker_count(), 0);
+    }
+
+    #[test]
+    fn event_count_accounts_for_structure() {
+        let x = VarId::new(0);
+        let m = LockId::new(0);
+        let l = Label::new(0);
+        let stmt = Stmt::Atomic(
+            l,
+            vec![Stmt::Loop(3, vec![Stmt::Sync(m, vec![Stmt::Read(x), Stmt::Write(x)])])],
+        );
+        // begin + end + 3 * (acq + rd + wr + rel)
+        assert_eq!(stmt.event_count(), 2 + 3 * 4);
+        assert_eq!(Stmt::Compute(10).event_count(), 0);
+    }
+
+    #[test]
+    fn program_event_count_sums_threads_and_main() {
+        let x = VarId::new(0);
+        let mut p = Program::new();
+        p.setup = vec![Stmt::Write(x)];
+        p.teardown = vec![Stmt::Read(x)];
+        p.phases.push(vec![ThreadBody::new(vec![Stmt::Read(x), Stmt::Write(x)])]);
+        assert_eq!(p.event_count(), 4);
+    }
+
+    #[test]
+    fn phases_group_workers() {
+        let mut b = ProgramBuilder::new();
+        let x = b.var("x");
+        b.worker(vec![Stmt::Write(x)]);
+        b.new_phase();
+        b.worker(vec![Stmt::Read(x)]);
+        b.worker(vec![Stmt::Read(x)]);
+        let p = b.finish();
+        assert_eq!(p.phases.len(), 2);
+        assert_eq!(p.phases[0].len(), 1);
+        assert_eq!(p.phases[1].len(), 2);
+        assert_eq!(p.worker_count(), 3);
+    }
+
+    #[test]
+    fn finish_names_threads() {
+        let mut b = ProgramBuilder::new();
+        b.worker(vec![]);
+        let p = b.finish();
+        assert_eq!(p.names.thread(velodrome_events::ThreadId::new(0)), "main");
+        assert_eq!(p.names.thread(velodrome_events::ThreadId::new(1)), "worker-1");
+    }
+}

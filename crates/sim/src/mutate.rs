@@ -1,0 +1,172 @@
+//! Synchronization-elision mutation for the defect-injection study.
+//!
+//! Section 6 of the paper: *"we injected atomicity defects into two
+//! programs … by systematically removing each synchronized statement that
+//! induced contention between threads one at a time and then running our
+//! analysis on each corrupted program."* This module enumerates the `Sync`
+//! statements of a program and produces mutants with one site's lock
+//! elided (the region body is inlined without acquire/release).
+
+use crate::ir::{Program, Stmt, ThreadBody};
+
+/// Identifies one `Sync` statement within a program, in the deterministic
+/// order produced by [`sync_sites`].
+pub type SyncSite = usize;
+
+/// Counts the `Sync` statements in the program (setup, workers in order,
+/// teardown; pre-order within each body).
+pub fn sync_sites(program: &Program) -> usize {
+    let mut count = 0;
+    count_sync(&program.setup, &mut count);
+    for t in program.workers() {
+        count_sync(&t.stmts, &mut count);
+    }
+    count_sync(&program.teardown, &mut count);
+    count
+}
+
+fn count_sync(stmts: &[Stmt], count: &mut usize) {
+    for s in stmts {
+        match s {
+            Stmt::Sync(_, body) => {
+                *count += 1;
+                count_sync(body, count);
+            }
+            Stmt::Atomic(_, body) | Stmt::Loop(_, body) => count_sync(body, count),
+            _ => {}
+        }
+    }
+}
+
+/// Returns a copy of `program` with the `site`-th `Sync` statement replaced
+/// by its body (lock elided), or `None` if `site` is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use velodrome_sim::{mutate, ProgramBuilder, Stmt};
+///
+/// let mut b = ProgramBuilder::new();
+/// let x = b.var("x");
+/// let m = b.lock("m");
+/// b.worker(vec![Stmt::Sync(m, vec![Stmt::Read(x), Stmt::Write(x)])]);
+/// let program = b.finish();
+/// assert_eq!(mutate::sync_sites(&program), 1);
+/// let mutant = mutate::elide_sync(&program, 0).unwrap();
+/// assert_eq!(mutate::sync_sites(&mutant), 0);
+/// ```
+pub fn elide_sync(program: &Program, site: SyncSite) -> Option<Program> {
+    let mut remaining = site;
+    let mut hit = false;
+    let mut p = program.clone();
+    p.setup = elide_in(&program.setup, &mut remaining, &mut hit);
+    p.phases = program
+        .phases
+        .iter()
+        .map(|phase| {
+            phase
+                .iter()
+                .map(|t| ThreadBody::new(elide_in(&t.stmts, &mut remaining, &mut hit)))
+                .collect()
+        })
+        .collect();
+    p.teardown = elide_in(&program.teardown, &mut remaining, &mut hit);
+    hit.then_some(p)
+}
+
+fn elide_in(stmts: &[Stmt], remaining: &mut usize, hit: &mut bool) -> Vec<Stmt> {
+    let mut out = Vec::with_capacity(stmts.len());
+    for s in stmts {
+        match s {
+            Stmt::Sync(m, body) => {
+                if !*hit && *remaining == 0 {
+                    *hit = true;
+                    // Inline the body, recursing in case it contains later
+                    // sites that must keep their numbering stable (they are
+                    // unaffected once `hit` is set).
+                    out.extend(elide_in(body, remaining, hit));
+                } else {
+                    if !*hit {
+                        *remaining -= 1;
+                    }
+                    out.push(Stmt::Sync(*m, elide_in(body, remaining, hit)));
+                }
+            }
+            Stmt::Atomic(l, body) => out.push(Stmt::Atomic(*l, elide_in(body, remaining, hit))),
+            Stmt::Loop(n, body) => out.push(Stmt::Loop(*n, elide_in(body, remaining, hit))),
+            other => out.push(other.clone()),
+        }
+    }
+    out
+}
+
+/// Yields every single-site elision mutant of the program.
+pub fn all_mutants(program: &Program) -> Vec<Program> {
+    (0..sync_sites(program)).filter_map(|site| elide_sync(program, site)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::ProgramBuilder;
+
+    fn sample() -> Program {
+        let mut b = ProgramBuilder::new();
+        let x = b.var("x");
+        let m = b.lock("m");
+        let l = b.label("work");
+        b.worker(vec![Stmt::Atomic(
+            l,
+            vec![Stmt::Sync(m, vec![Stmt::Read(x), Stmt::Write(x)])],
+        )]);
+        b.worker(vec![Stmt::Loop(2, vec![Stmt::Sync(m, vec![Stmt::Write(x)])])]);
+        b.finish()
+    }
+
+    #[test]
+    fn site_count_is_recursive() {
+        let p = sample();
+        assert_eq!(sync_sites(&p), 2);
+        let mut b = ProgramBuilder::new();
+        let x = b.var("x");
+        let m = b.lock("m");
+        b.worker(vec![Stmt::Sync(m, vec![Stmt::Sync(m, vec![Stmt::Read(x)])])]);
+        assert_eq!(sync_sites(&b.finish()), 2, "nested sync counts both");
+    }
+
+    #[test]
+    fn elide_removes_exactly_one_site() {
+        let p = sample();
+        for site in 0..sync_sites(&p) {
+            let mutant = elide_sync(&p, site).unwrap();
+            assert_eq!(sync_sites(&mutant), sync_sites(&p) - 1, "site {site}");
+        }
+    }
+
+    #[test]
+    fn elide_keeps_body() {
+        let p = sample();
+        let mutant = elide_sync(&p, 0).unwrap();
+        // The atomic block now directly contains the read and write.
+        match &mutant.phases[0][0].stmts[0] {
+            Stmt::Atomic(_, body) => {
+                assert_eq!(body.len(), 2);
+                assert!(matches!(body[0], Stmt::Read(_)));
+                assert!(matches!(body[1], Stmt::Write(_)));
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_site_returns_none() {
+        let p = sample();
+        assert!(elide_sync(&p, 99).is_none());
+    }
+
+    #[test]
+    fn all_mutants_covers_each_site() {
+        let p = sample();
+        assert_eq!(all_mutants(&p).len(), 2);
+    }
+}

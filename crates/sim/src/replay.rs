@@ -1,0 +1,148 @@
+//! Deterministic trace replay (in the spirit of RecPlay, which the paper
+//! cites as complete-race-detection infrastructure): re-execute a program
+//! forcing a previously recorded interleaving, e.g. to reproduce a
+//! violation found under a random seed.
+
+use crate::sched::{SchedView, Scheduler};
+use velodrome_events::{Op, ThreadId, Trace};
+
+/// A scheduler that follows a recorded trace: at each step it picks the
+/// thread that performed the next recorded event (threads mid-compute are
+/// chosen freely, since compute steps emit no events).
+///
+/// Replay diverges if the program differs from the one that produced the
+/// recording; [`ReplayScheduler::diverged`] reports that.
+#[derive(Debug)]
+pub struct ReplayScheduler {
+    script: Vec<Op>,
+    pos: usize,
+    diverged: bool,
+}
+
+impl ReplayScheduler {
+    /// Creates a replayer for the given recorded trace.
+    pub fn new(recording: &Trace) -> Self {
+        Self { script: recording.ops().to_vec(), pos: 0, diverged: false }
+    }
+
+    /// Whether the execution stopped matching the recording.
+    pub fn diverged(&self) -> bool {
+        self.diverged
+    }
+
+    /// Recorded events successfully replayed so far.
+    pub fn replayed(&self) -> usize {
+        self.pos
+    }
+
+    /// The thread expected to act next, if the recording has not ended.
+    pub fn next_tid(&self) -> Option<ThreadId> {
+        self.script.get(self.pos).map(|op| op.tid())
+    }
+}
+
+impl Scheduler for ReplayScheduler {
+    fn pick(&mut self, view: &SchedView<'_>) -> usize {
+        // Prefer a runnable thread whose pending emission matches the next
+        // recorded event exactly.
+        if let Some(expected) = self.script.get(self.pos).copied() {
+            if let Some(i) = view.next_ops.iter().position(|p| *p == Some(expected)) {
+                return i;
+            }
+            // Otherwise let the expected thread make progress: through
+            // compute steps (no pending emission) and through re-entrant
+            // acquires/releases, which the executor advertises in
+            // `next_ops` but suppresses on emission.
+            let t = expected.tid();
+            if let Some(i) = (0..view.runnable.len()).find(|&i| {
+                view.runnable[i] == t
+                    && matches!(
+                        view.next_ops[i],
+                        None | Some(Op::Acquire { .. }) | Some(Op::Release { .. })
+                    )
+            }) {
+                return i;
+            }
+            // The thread is runnable but its next emission differs: the
+            // program does not match the recording.
+            if view.runnable.contains(&t) {
+                self.diverged = true;
+            }
+        }
+        // Past the recording's end or diverged: any runnable thread will do.
+        0
+    }
+
+    fn observe(&mut self, _index: usize, op: Op) {
+        if self.script.get(self.pos) == Some(&op) {
+            self.pos += 1;
+        } else {
+            self.diverged = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::run_program;
+    use crate::gen::{random_program, GenConfig};
+    use crate::ir::ProgramBuilder;
+    use crate::sched::RandomScheduler;
+    use crate::Stmt;
+
+    #[test]
+    fn replay_reproduces_random_interleavings_exactly() {
+        let cfg = GenConfig::default();
+        for seed in 0..25u64 {
+            let program = random_program(&cfg, seed);
+            let original = run_program(&program, RandomScheduler::new(seed ^ 0xfeed));
+            if original.deadlocked {
+                continue;
+            }
+            let mut replayer = ReplayScheduler::new(&original.trace);
+            let replayed = {
+                let exec = crate::exec::Executor::new(&program, &mut replayer);
+                exec.run()
+            };
+            assert_eq!(
+                replayed.trace.ops(),
+                original.trace.ops(),
+                "seed {seed}: replay diverged"
+            );
+            assert!(!replayer.diverged());
+            assert_eq!(replayer.replayed(), original.trace.len());
+        }
+    }
+
+    #[test]
+    fn replay_reports_divergence_on_different_program() {
+        let mut b = ProgramBuilder::new();
+        let x = b.var("x");
+        b.worker(vec![Stmt::Write(x), Stmt::Write(x)]);
+        let p1 = b.finish();
+        let recording = run_program(&p1, RandomScheduler::new(1)).trace;
+
+        let mut b = ProgramBuilder::new();
+        let x = b.var("x");
+        b.worker(vec![Stmt::Read(x), Stmt::Read(x)]); // different ops
+        let p2 = b.finish();
+        let mut replayer = ReplayScheduler::new(&recording);
+        let _ = crate::exec::Executor::new(&p2, &mut replayer).run();
+        assert!(replayer.diverged());
+    }
+
+    #[test]
+    fn replay_of_compute_heavy_program() {
+        let mut b = ProgramBuilder::new();
+        let x = b.var("x");
+        b.worker(vec![Stmt::Compute(5), Stmt::Write(x), Stmt::Compute(3), Stmt::Read(x)]);
+        b.worker(vec![Stmt::Compute(2), Stmt::Write(x)]);
+        let p = b.finish();
+        let original = run_program(&p, RandomScheduler::new(9));
+        let mut replayer = ReplayScheduler::new(&original.trace);
+        let replayed = crate::exec::Executor::new(&p, &mut replayer).run();
+        assert_eq!(replayed.trace.ops(), original.trace.ops());
+        assert!(!replayer.diverged());
+    }
+}

@@ -1,0 +1,102 @@
+//! Conformance of the executor to the Figure 1 semantics, as properties
+//! over random programs and schedulers: traces are well-formed, locks are
+//! mutually exclusive, phases are fork/join-ordered, and every event of the
+//! program occurs per-thread in program order.
+
+use proptest::prelude::*;
+use velodrome_events::{semantics, Op, ThreadId};
+use velodrome_sim::{
+    random_program, run_program, GenConfig, PctScheduler, ProgramBuilder, RandomScheduler,
+    RoundRobin, Scheduler, Sticky, Stmt,
+};
+
+fn check_trace_invariants(trace: &velodrome_events::Trace) {
+    assert_eq!(semantics::validate(trace), Ok(()));
+    // Mutual exclusion, directly.
+    let mut holder: Option<(velodrome_events::LockId, ThreadId)> = None;
+    let mut holders = std::collections::HashMap::new();
+    for (_, op) in trace.iter() {
+        match op {
+            Op::Acquire { t, m } => {
+                assert!(holders.insert(m, t).is_none(), "double acquire of {m}");
+            }
+            Op::Release { t, m } => {
+                assert_eq!(holders.remove(&m), Some(t), "release by non-holder");
+            }
+            _ => {}
+        }
+    }
+    let _ = holder.take();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_scheduler_conformance(gen_seed in 0u64..5_000, sched_seed in 0u64..5_000) {
+        let program = random_program(&GenConfig::default(), gen_seed);
+        let result = run_program(&program, RandomScheduler::new(sched_seed));
+        prop_assume!(!result.deadlocked);
+        check_trace_invariants(&result.trace);
+    }
+
+    #[test]
+    fn every_scheduler_produces_the_same_multiset_of_events(seed in 0u64..2_000) {
+        // Different schedulers, same program: the *set* of per-thread event
+        // sequences is identical (only the interleaving differs).
+        let program = random_program(&GenConfig::default(), seed);
+        let mut per_sched: Vec<Vec<Vec<Op>>> = Vec::new();
+        let scheds: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(RoundRobin::new()),
+            Box::new(RandomScheduler::new(seed)),
+            Box::new(Sticky::new()),
+            Box::new(PctScheduler::new(seed, 4_000, 3)),
+        ];
+        for sched in scheds {
+            let result = run_program(&program, sched);
+            prop_assume!(!result.deadlocked);
+            check_trace_invariants(&result.trace);
+            // Project per-thread sequences.
+            let threads = result.trace.threads();
+            let mut seqs = Vec::new();
+            for t in threads {
+                let seq: Vec<Op> = result
+                    .trace
+                    .ops()
+                    .iter()
+                    .copied()
+                    .filter(|op| op.tid() == t)
+                    .collect();
+                seqs.push(seq);
+            }
+            seqs.sort_by_key(|s| s.first().map(|o| o.tid().raw()));
+            per_sched.push(seqs);
+        }
+        for pair in per_sched.windows(2) {
+            prop_assert_eq!(&pair[0], &pair[1], "per-thread projections differ");
+        }
+    }
+
+    #[test]
+    fn phase_ordering_is_absolute(seed in 0u64..2_000) {
+        // Two-phase program: every event of phase-1 workers precedes every
+        // event of phase-2 workers, under any scheduler.
+        let mut b = ProgramBuilder::new();
+        let x = b.var("x");
+        b.worker(vec![Stmt::Loop(3, vec![Stmt::Write(x)])]); // T1 (phase 1)
+        b.new_phase();
+        b.worker(vec![Stmt::Loop(3, vec![Stmt::Read(x)])]); // T2 (phase 2)
+        b.worker(vec![Stmt::Loop(3, vec![Stmt::Read(x)])]); // T3 (phase 2)
+        let p = b.finish();
+        let result = run_program(&p, RandomScheduler::new(seed));
+        prop_assert!(!result.deadlocked);
+        let ops = result.trace.ops();
+        let last_p1 = ops.iter().rposition(|o| o.tid() == ThreadId::new(1));
+        let first_p2 = ops
+            .iter()
+            .position(|o| o.tid() == ThreadId::new(2) || o.tid() == ThreadId::new(3));
+        if let (Some(a), Some(b_)) = (last_p1, first_p2) {
+            prop_assert!(a < b_, "phase-1 event after phase-2 started");
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Vector clocks and a precise happens-before race detector.
+//!
+//! RoadRunner "includes several race detection algorithms (including Eraser
+//! and a complete happens-before detector), which can be run concurrently
+//! with Velodrome if race conditions are a concern" (Section 5). This crate
+//! provides the complete happens-before detector: a DJIT⁺-style analysis
+//! that reports a race iff two conflicting accesses are concurrent (neither
+//! happens-before the other) in the observed trace — plus a FastTrack-style
+//! epoch-optimized variant ([`fasttrack`]) that compresses totally ordered
+//! access histories to scalar epochs.
+
+pub mod clock;
+pub mod detector;
+pub mod fasttrack;
+
+pub use clock::VectorClock;
+pub use detector::HbRaceDetector;
+pub use fasttrack::{Epoch, FastTrack};

@@ -1,0 +1,228 @@
+//! Synthetic models of the fifteen benchmarks from the Velodrome paper.
+//!
+//! The paper evaluates on Java programs (elevator, hedc, tsp, sor, SPEC
+//! jbb/mtrt, Java Grande moldyn/montecarlo/raytracer, colt, philo, raja,
+//! multiset, webl, jigsaw). This crate models each benchmark's
+//! *synchronization structure* as a [`velodrome_sim::Program`] whose ground
+//! truth — which atomic methods are genuinely non-atomic — is known by
+//! construction, so the Table 1 and Table 2 experiments can measure real
+//! detections, false alarms, and misses exactly.
+//!
+//! See [`patterns`] for the idiom building blocks and [`models`] for the
+//! per-benchmark constructions; [`adversarial`] wires the Atomizer's
+//! commit-point heuristic into the simulator's adversarial scheduler.
+
+pub mod adversarial;
+pub mod models;
+pub mod patterns;
+
+use velodrome_events::Trace;
+use velodrome_sim::{run_program, Program, RandomScheduler, RoundRobin};
+
+/// The counts the paper reports for a benchmark in Table 2, kept for
+/// side-by-side comparison in the experiment reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaperCounts {
+    /// Atomizer warnings corresponding to really non-atomic methods.
+    pub atomizer_real: u32,
+    /// Atomizer false alarms.
+    pub atomizer_false: u32,
+    /// Non-atomic methods Velodrome reported.
+    pub velodrome_found: u32,
+    /// Atomizer-found non-atomic methods Velodrome missed.
+    pub missed: u32,
+}
+
+/// One benchmark model plus its ground truth.
+#[derive(Debug)]
+pub struct Workload {
+    /// Benchmark name, matching the paper's tables.
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Source size of the original benchmark (Table 1 "Size (lines)").
+    pub paper_lines: u32,
+    /// The synthetic program.
+    pub program: Program,
+    /// Names of the genuinely non-atomic methods (ground truth).
+    pub non_atomic: Vec<String>,
+    /// The paper's reported Table 2 counts for comparison.
+    pub paper: PaperCounts,
+}
+
+impl Workload {
+    /// Is the named method genuinely non-atomic?
+    pub fn is_non_atomic(&self, label_name: &str) -> bool {
+        self.non_atomic.iter().any(|n| n == label_name)
+    }
+
+    /// Runs the workload under a seeded random scheduler.
+    pub fn run(&self, seed: u64) -> Trace {
+        let result = run_program(&self.program, RandomScheduler::new(seed));
+        assert!(!result.deadlocked, "workload {} deadlocked", self.name);
+        result.trace
+    }
+
+    /// Runs the workload under deterministic round-robin.
+    pub fn run_round_robin(&self) -> Trace {
+        let result = run_program(&self.program, RoundRobin::new());
+        assert!(!result.deadlocked, "workload {} deadlocked", self.name);
+        result.trace
+    }
+}
+
+/// Benchmark names in the paper's table order.
+pub const NAMES: [&str; 15] = [
+    "elevator",
+    "hedc",
+    "tsp",
+    "sor",
+    "jbb",
+    "mtrt",
+    "moldyn",
+    "montecarlo",
+    "raytracer",
+    "colt",
+    "philo",
+    "raja",
+    "multiset",
+    "webl",
+    "jigsaw",
+];
+
+/// Builds one benchmark model by name. `scale` multiplies loop iteration
+/// counts (1 for tests, larger for benchmarks).
+///
+/// # Examples
+///
+/// ```
+/// let multiset = velodrome_workloads::build("multiset", 1).unwrap();
+/// assert_eq!(multiset.non_atomic.len(), 5);
+/// assert!(velodrome_workloads::build("nonesuch", 1).is_none());
+/// ```
+pub fn build(name: &str, scale: u32) -> Option<Workload> {
+    let w = match name {
+        "elevator" => models::elevator(scale),
+        "hedc" => models::hedc(scale),
+        "tsp" => models::tsp(scale),
+        "sor" => models::sor(scale),
+        "jbb" => models::jbb(scale),
+        "mtrt" => models::mtrt(scale),
+        "moldyn" => models::moldyn(scale),
+        "montecarlo" => models::montecarlo(scale),
+        "raytracer" => models::raytracer(scale),
+        "colt" => models::colt(scale),
+        "philo" => models::philo(scale),
+        "raja" => models::raja(scale),
+        "multiset" => models::multiset(scale),
+        "webl" => models::webl(scale),
+        "jigsaw" => models::jigsaw(scale),
+        _ => return None,
+    };
+    Some(w)
+}
+
+/// Builds all fifteen benchmark models.
+pub fn all(scale: u32) -> Vec<Workload> {
+    NAMES.iter().map(|n| build(n, scale).expect("known name")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use velodrome::check_trace;
+    use velodrome_events::semantics;
+
+    #[test]
+    fn all_fifteen_build_and_run() {
+        let workloads = all(1);
+        assert_eq!(workloads.len(), 15);
+        for w in &workloads {
+            let trace = w.run(1);
+            assert!(!trace.is_empty(), "{} produced an empty trace", w.name);
+            assert_eq!(
+                semantics::validate(&trace),
+                Ok(()),
+                "{} produced an ill-formed trace",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn velodrome_never_false_alarms_on_any_workload() {
+        for w in all(1) {
+            for seed in 0..3 {
+                let trace = w.run(seed);
+                for warning in check_trace(&trace) {
+                    let label = warning.label.expect("atomicity warnings carry labels");
+                    let name = trace.names().label(label);
+                    assert!(
+                        w.is_non_atomic(&name),
+                        "Velodrome false alarm on {}::{name} (seed {seed})",
+                        w.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn raja_is_completely_clean() {
+        let w = build("raja", 1).unwrap();
+        for seed in 0..5 {
+            assert!(check_trace(&w.run(seed)).is_empty());
+        }
+    }
+
+    #[test]
+    fn easy_defects_are_found_under_round_robin() {
+        // Benchmarks without narrow-window defects should have every
+        // non-atomic method detected across a handful of seeds.
+        for name in ["multiset", "philo", "tsp"] {
+            let w = build(name, 1).unwrap();
+            let mut found: HashSet<String> = HashSet::new();
+            for seed in 0..5 {
+                let trace = w.run(seed);
+                for warning in check_trace(&trace) {
+                    found.insert(trace.names().label(warning.label.unwrap()));
+                }
+            }
+            for method in &w.non_atomic {
+                assert!(found.contains(method), "{name}::{method} not detected");
+            }
+        }
+    }
+
+    #[test]
+    fn ground_truth_labels_exist_in_programs() {
+        for w in all(1) {
+            let trace = w.run_round_robin();
+            // Every truth label should appear as a begin in the trace.
+            let seen: HashSet<String> = trace
+                .ops()
+                .iter()
+                .filter_map(|op| match op {
+                    velodrome_events::Op::Begin { l, .. } => Some(trace.names().label(*l)),
+                    _ => None,
+                })
+                .collect();
+            for method in &w.non_atomic {
+                assert!(seen.contains(method), "{}: label {method} never executes", w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn build_unknown_name_returns_none() {
+        assert!(build("nonesuch", 1).is_none());
+    }
+
+    #[test]
+    fn scale_grows_traces() {
+        let small = build("tsp", 1).unwrap().run_round_robin().len();
+        let large = build("tsp", 3).unwrap().run_round_robin().len();
+        assert!(large > 2 * small, "{small} -> {large}");
+    }
+}

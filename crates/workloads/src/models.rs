@@ -1,0 +1,707 @@
+//! Synthetic models of the paper's fifteen benchmark programs.
+//!
+//! Each model reproduces the *synchronization structure* of the original
+//! Java benchmark — the mix of correctly locked methods, check-then-act
+//! defects, unprotected read-modify-writes, fork/join-initialized data that
+//! confuses lockset analyses, and non-transactional traffic — sized so that
+//! the Table 1 and Table 2 phenomena (zero Velodrome false alarms, Atomizer
+//! false-alarm counts, merge/GC node statistics) reproduce in shape.
+//!
+//! Ground truth is known by construction: every method assembled from
+//! [`crate::patterns`] carries its atomicity status.
+
+use crate::patterns::*;
+use crate::{PaperCounts, Workload};
+use velodrome_sim::{ProgramBuilder, Stmt};
+
+/// Builds `n` distinct check-then-act defect methods (`prefix_i` on its own
+/// variable), returning the method statements. All are genuinely
+/// non-atomic when two workers run them.
+fn easy_defects(
+    b: &mut ProgramBuilder,
+    truth: &mut Vec<String>,
+    prefix: &str,
+    n: usize,
+    lock: &str,
+) -> Vec<Stmt> {
+    (0..n)
+        .map(|i| {
+            let label = format!("{prefix}_{i}");
+            truth.push(label.clone());
+            double_cs_method(b, &label, lock, &format!("{prefix}_var_{i}"))
+        })
+        .collect()
+}
+
+/// Builds `n` narrow-window defect methods plus the rare conflicting
+/// partner statements that make them only occasionally observable.
+fn narrow_defects(
+    b: &mut ProgramBuilder,
+    truth: &mut Vec<String>,
+    prefix: &str,
+    n: usize,
+    lock: &str,
+) -> (Vec<Stmt>, Vec<Stmt>) {
+    let mut methods = Vec::new();
+    let mut partners = Vec::new();
+    for i in 0..n {
+        let label = format!("{prefix}_narrow_{i}");
+        truth.push(label.clone());
+        let var = format!("{prefix}_nvar_{i}");
+        let l = b.label(&label);
+        let m = b.lock(lock);
+        let x = b.var(&var);
+        methods.push(Stmt::Atomic(
+            l,
+            vec![
+                Stmt::Sync(m, vec![Stmt::Read(x)]),
+                Stmt::Sync(m, vec![Stmt::Read(x), Stmt::Write(x)]),
+            ],
+        ));
+        // The partner performs a single locked write after a seed-dependent
+        // amount of compute: whether it lands inside the check-then-act
+        // window depends on the schedule.
+        partners.push(Stmt::Compute(7 + 13 * i as u32));
+        partners.push(Stmt::Sync(m, vec![Stmt::Write(x)]));
+    }
+    (methods, partners)
+}
+
+/// Builds `n` Atomizer-false-alarm reader methods over phase-initialized
+/// configuration data. Call *after* [`shared_modified_setup`] created the
+/// init phase for `cfg_prefix_var_i`.
+fn false_alarm_readers(b: &mut ProgramBuilder, prefix: &str, n: usize) -> Vec<Stmt> {
+    (0..n)
+        .map(|i| {
+            ordered_racy_reader(
+                b,
+                &format!("{prefix}_get_{i}"),
+                &format!("{prefix}_cfg_{i}"),
+                &format!("{prefix}_statslock"),
+                &format!("{prefix}_stats_{i}"),
+            )
+        })
+        .collect()
+}
+
+fn config_names(prefix: &str, n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("{prefix}_cfg_{i}")).collect()
+}
+
+/// Statements common to realistic benchmark workers: a correctly
+/// synchronized method with *nested* lock regions in a fixed order (always
+/// reducible), a method holding one lock across several protected
+/// variables, and read-only getters over constants initialized by main —
+/// ballast that every tool must process without warnings, exercising the
+/// engines the way well-behaved library code does.
+fn routine_methods(b: &mut ProgramBuilder, prefix: &str, worker: usize) -> Vec<Stmt> {
+    let outer = b.lock(&format!("{prefix}_outerLock"));
+    let inner = b.lock(&format!("{prefix}_innerLock"));
+    let a = b.var(&format!("{prefix}_acct"));
+    let idx = b.var(&format!("{prefix}_index"));
+    let nested = b.label(&format!("{prefix}.nestedUpdate"));
+    let multi = b.label(&format!("{prefix}.bulkUpdate"));
+    let scratch = b.var(&format!("{prefix}_scratch_{worker}"));
+    vec![
+        // synchronized(outer) { ... synchronized(inner) { ... } }: nested
+        // regions in one global order — reducible, deadlock-free.
+        Stmt::Atomic(
+            nested,
+            vec![Stmt::Sync(
+                outer,
+                vec![
+                    Stmt::Read(a),
+                    Stmt::Sync(inner, vec![Stmt::Read(idx), Stmt::Write(idx)]),
+                    Stmt::Write(a),
+                ],
+            )],
+        ),
+        // One lock protecting several variables for the whole method.
+        Stmt::Atomic(
+            multi,
+            vec![Stmt::Sync(
+                outer,
+                vec![Stmt::Read(a), Stmt::Write(a), Stmt::Read(idx), Stmt::Write(idx)],
+            )],
+        ),
+        read_only_method(
+            b,
+            &format!("{prefix}.constants"),
+            &[&format!("{prefix}_const_a"), &format!("{prefix}_const_b")],
+        ),
+        // Thread-local working set.
+        Stmt::Loop(2, vec![Stmt::Read(scratch), Stmt::Write(scratch), Stmt::Compute(1)]),
+    ]
+}
+
+/// `elevator` — discrete-event elevator simulator (von Praun & Gross).
+pub fn elevator(scale: u32) -> Workload {
+    let mut b = ProgramBuilder::new();
+    let mut truth = Vec::new();
+    let cfgs = config_names("elev", 1);
+    let cfg_refs: Vec<&str> = cfgs.iter().map(String::as_str).collect();
+    shared_modified_setup(&mut b, &cfg_refs);
+
+    // Two elevator threads run the same methods; the controller polls.
+    for w in 0..2 {
+        let body = vec![
+            double_cs_method(&mut b, "Elevator.claimUp", "controlLock", "upCalls"),
+            double_cs_method(&mut b, "Elevator.claimDown", "controlLock", "downCalls"),
+            double_cs_method(&mut b, "Floor.arrive", "controlLock", "floorState"),
+            bare_rmw_method(&mut b, "Elevator.move", "sharedPos", 2),
+            locked_method(&mut b, "Elevator.openDoor", "doorLock", "doorState"),
+            locked_method(&mut b, "Elevator.updateDisplay", "displayLock", "display"),
+            read_only_method(&mut b, "Elevator.readButtons", &["buttons"]),
+            ordered_racy_reader(
+                &mut b,
+                "Elevator.getConfig",
+                "elev_cfg_0",
+                "elev_statslock",
+                "elev_stats_0",
+            ),
+        ];
+        let mut body = body;
+        body.extend(routine_methods(&mut b, "elev", w));
+        b.worker(vec![Stmt::Loop(2 * scale, body)]);
+    }
+    let poll1 = bare_rmw_method(&mut b, "Controller.poll", "pollCount", 2);
+    let poll2 = bare_rmw_method(&mut b, "Controller.poll", "sharedPos", 2);
+    let display = locked_method(&mut b, "Controller.updateDisplay", "displayLock", "display");
+    b.worker(vec![Stmt::Loop(2 * scale, vec![poll1, poll2, display])]);
+    truth.extend([
+        "Elevator.claimUp".into(),
+        "Elevator.claimDown".into(),
+        "Floor.arrive".into(),
+        "Elevator.move".into(),
+        "Controller.poll".into(),
+    ]);
+
+    Workload {
+        name: "elevator",
+        description: "discrete-event elevator simulator",
+        paper_lines: 520,
+        program: b.finish(),
+        non_atomic: truth,
+        paper: PaperCounts { atomizer_real: 5, atomizer_false: 1, velodrome_found: 5, missed: 0 },
+    }
+}
+
+/// `hedc` — web-sourced astrophysics data access tool (task pool).
+pub fn hedc(scale: u32) -> Workload {
+    let mut b = ProgramBuilder::new();
+    let mut truth = Vec::new();
+    let cfgs = config_names("hedc", 2);
+    let cfg_refs: Vec<&str> = cfgs.iter().map(String::as_str).collect();
+    shared_modified_setup(&mut b, &cfg_refs);
+
+    let defect_specs: [(&str, &str); 6] = [
+        ("Task.dequeue", "poolLock"),
+        ("Task.enqueue", "poolLock"),
+        ("Cache.lookup", "cacheLock"),
+        ("Cache.update", "cacheLock"),
+        ("MetaSearch.merge", "metaLock"),
+        ("Stats.bump", "statsLock"),
+    ];
+    for w in 0..3 {
+        let mut body = Vec::new();
+        for (name, lock) in defect_specs {
+            body.push(double_cs_method(&mut b, name, lock, &format!("{name}.state")));
+        }
+        body.push(locked_method(&mut b, "Log.append", "logLock", "log"));
+        for fa in false_alarm_readers(&mut b, "hedc", 2) {
+            body.push(fa);
+        }
+        body.extend(routine_methods(&mut b, "hedc", w));
+        b.worker(vec![Stmt::Loop(2 * scale, body)]);
+    }
+    truth.extend(defect_specs.iter().map(|(n, _)| n.to_string()));
+
+    Workload {
+        name: "hedc",
+        description: "astrophysics web-data task pool",
+        paper_lines: 6_400,
+        program: b.finish(),
+        non_atomic: truth,
+        paper: PaperCounts { atomizer_real: 6, atomizer_false: 2, velodrome_found: 6, missed: 0 },
+    }
+}
+
+/// `tsp` — branch-and-bound traveling-salesman solver: heavy
+/// non-transactional matrix traffic plus racy global-bound updates.
+pub fn tsp(scale: u32) -> Workload {
+    let mut b = ProgramBuilder::new();
+    let mut truth = Vec::new();
+
+    for w in 0..3 {
+        let mut body = Vec::new();
+        // Scanning the distance matrix: unary churn on worker-private rows.
+        body.push(unary_churn(&mut b, &format!("tsp_row_{w}"), 60 * scale));
+        for i in 0..4 {
+            let label = format!("Tsp.updateMinTour_{i}");
+            body.push(bare_rmw_method(&mut b, &label, &format!("minTour_{i}"), 2));
+            let label2 = format!("Tsp.updateBound_{i}");
+            body.push(double_cs_method(&mut b, &label2, "tourLock", &format!("bound_{i}")));
+        }
+        body.push(locked_method(&mut b, "Tsp.recordTour", "tourLock", "bestTour"));
+        b.worker(vec![Stmt::Loop(2 * scale, body)]);
+    }
+    for i in 0..4 {
+        truth.push(format!("Tsp.updateMinTour_{i}"));
+        truth.push(format!("Tsp.updateBound_{i}"));
+    }
+
+    Workload {
+        name: "tsp",
+        description: "branch-and-bound TSP solver",
+        paper_lines: 700,
+        program: b.finish(),
+        non_atomic: truth,
+        paper: PaperCounts { atomizer_real: 8, atomizer_false: 0, velodrome_found: 8, missed: 0 },
+    }
+}
+
+/// `sor` — successive over-relaxation: barrier-phased stencil with mostly
+/// thread-disjoint writes.
+pub fn sor(scale: u32) -> Workload {
+    let mut b = ProgramBuilder::new();
+    let mut truth = Vec::new();
+
+    // Phase 1: red sweep; phase 2: black sweep (fork/join barriers).
+    for phase in 0..2 {
+        for w in 0..2 {
+            let mut body = Vec::new();
+            body.push(unary_churn(&mut b, &format!("sor_p{phase}_rows_{w}"), 40 * scale));
+            if phase == 1 {
+                for i in 0..3 {
+                    let label = format!("Sor.boundary_{i}");
+                    body.push(double_cs_method(&mut b, &label, "gridLock", &format!("edge_{i}")));
+                }
+                body.push(locked_method(&mut b, "Sor.reduceResidual", "gridLock", "residual"));
+            }
+            b.worker(vec![Stmt::Loop(scale, body)]);
+        }
+        if phase == 0 {
+            b.new_phase();
+        }
+    }
+    for i in 0..3 {
+        truth.push(format!("Sor.boundary_{i}"));
+    }
+
+    Workload {
+        name: "sor",
+        description: "successive over-relaxation stencil",
+        paper_lines: 690,
+        program: b.finish(),
+        non_atomic: truth,
+        paper: PaperCounts { atomizer_real: 3, atomizer_false: 0, velodrome_found: 3, missed: 0 },
+    }
+}
+
+/// `jbb` — SPEC JBB2000 business-object server: many correctly synchronized
+/// methods over fork/join-initialized catalogs (the paper's largest
+/// Atomizer false-alarm source).
+pub fn jbb(scale: u32) -> Workload {
+    let mut b = ProgramBuilder::new();
+    let mut truth = Vec::new();
+    let cfgs = config_names("jbb", 42);
+    let cfg_refs: Vec<&str> = cfgs.iter().map(String::as_str).collect();
+    shared_modified_setup(&mut b, &cfg_refs);
+
+    for w in 0..3 {
+        let mut body = Vec::new();
+        for i in 0..3 {
+            let label = format!("Warehouse.restock_{i}");
+            body.push(double_cs_method(&mut b, &label, "stockLock", &format!("stock_{i}")));
+        }
+        for i in 0..2 {
+            let label = format!("Order.bumpCount_{i}");
+            body.push(bare_rmw_method(&mut b, &label, &format!("orderCount_{i}"), 2));
+        }
+        body.push(locked_method(&mut b, "District.pay", "districtLock", "ytd"));
+        body.push(locked_method(&mut b, "Customer.balance", "custLock", "balance"));
+        for fa in false_alarm_readers(&mut b, "jbb", 42) {
+            body.push(fa);
+        }
+        body.extend(routine_methods(&mut b, "jbb", w));
+        b.worker(vec![Stmt::Loop(scale, body)]);
+    }
+    for i in 0..3 {
+        truth.push(format!("Warehouse.restock_{i}"));
+    }
+    for i in 0..2 {
+        truth.push(format!("Order.bumpCount_{i}"));
+    }
+
+    Workload {
+        name: "jbb",
+        description: "SPEC JBB2000 business-object server model",
+        paper_lines: 36_000,
+        program: b.finish(),
+        non_atomic: truth,
+        paper: PaperCounts { atomizer_real: 5, atomizer_false: 42, velodrome_found: 5, missed: 0 },
+    }
+}
+
+/// `mtrt` — SPEC JVM98 multithreaded ray tracer: scene data initialized in
+/// a fork/join warm-up phase, then read "racily" per Eraser.
+pub fn mtrt(scale: u32) -> Workload {
+    let mut b = ProgramBuilder::new();
+    let mut truth = Vec::new();
+    let cfgs = config_names("mtrt", 27);
+    let cfg_refs: Vec<&str> = cfgs.iter().map(String::as_str).collect();
+    shared_modified_setup(&mut b, &cfg_refs);
+
+    for w in 0..2 {
+        let mut body = Vec::new();
+        body.push(unary_churn(&mut b, &format!("mtrt_framebuf_{w}"), 40 * scale));
+        let pixel = bare_rmw_method(&mut b, "Scene.bumpPixelCount", "pixelCount", 2);
+        let ray = double_cs_method(&mut b, "Scene.bumpRayCount", "rayLock", "rayCount");
+        body.push(Stmt::Loop(4, vec![pixel, ray]));
+        for fa in false_alarm_readers(&mut b, "mtrt", 27) {
+            body.push(fa);
+        }
+        b.worker(vec![Stmt::Loop(scale, body)]);
+    }
+    truth.push("Scene.bumpPixelCount".into());
+    truth.push("Scene.bumpRayCount".into());
+
+    Workload {
+        name: "mtrt",
+        description: "SPEC JVM98 multithreaded ray tracer model",
+        paper_lines: 11_000,
+        program: b.finish(),
+        non_atomic: truth,
+        paper: PaperCounts { atomizer_real: 2, atomizer_false: 27, velodrome_found: 2, missed: 0 },
+    }
+}
+
+/// `moldyn` — Java Grande molecular dynamics: barrier-phased force
+/// accumulation.
+pub fn moldyn(scale: u32) -> Workload {
+    let mut b = ProgramBuilder::new();
+    let mut truth = Vec::new();
+
+    for w in 0..2 {
+        let mut body = Vec::new();
+        body.push(unary_churn(&mut b, &format!("moldyn_local_{w}"), 20 * scale));
+        for i in 0..4 {
+            let label = format!("Particle.accumulateForce_{i}");
+            body.push(double_cs_method(&mut b, &label, "forceLock", &format!("force_{i}")));
+        }
+        body.push(locked_method(&mut b, "Particle.energy", "energyLock", "energy"));
+        b.worker(vec![Stmt::Loop(2 * scale, body)]);
+    }
+    for i in 0..4 {
+        truth.push(format!("Particle.accumulateForce_{i}"));
+    }
+
+    Workload {
+        name: "moldyn",
+        description: "Java Grande molecular dynamics model",
+        paper_lines: 1_400,
+        program: b.finish(),
+        non_atomic: truth,
+        paper: PaperCounts { atomizer_real: 4, atomizer_false: 0, velodrome_found: 4, missed: 0 },
+    }
+}
+
+/// `montecarlo` — Java Grande Monte Carlo simulation.
+pub fn montecarlo(scale: u32) -> Workload {
+    let mut b = ProgramBuilder::new();
+    let mut truth = Vec::new();
+
+    for w in 0..2 {
+        let mut body = Vec::new();
+        body.push(unary_churn(&mut b, &format!("mc_paths_{w}"), 80 * scale));
+        for i in 0..6 {
+            let label = format!("MonteCarlo.pushResult_{i}");
+            body.push(double_cs_method(&mut b, &label, "resultLock", &format!("results_{i}")));
+        }
+        body.push(locked_method(&mut b, "MonteCarlo.nextSeed", "seedLock", "seed"));
+        b.worker(vec![Stmt::Loop(2 * scale, body)]);
+    }
+    // Reduce phase: one worker folds per-path results into the summary
+    // after every simulation worker has been joined (fork/join-ordered, so
+    // the unlocked reads are safe and must produce no warnings).
+    b.new_phase();
+    let result_lock = b.lock("resultLock");
+    let mut reduce = Vec::new();
+    for i in 0..6 {
+        let x = b.var(&format!("results_{i}"));
+        reduce.push(Stmt::Read(x));
+    }
+    let summary = b.var("mc_summary");
+    reduce.push(Stmt::Write(summary));
+    let l_reduce = b.label("MonteCarlo.reduce");
+    // The reduce holds the result lock like the simulation workers did, so
+    // the lockset-based baselines also see it as consistent.
+    b.worker(vec![Stmt::Atomic(l_reduce, vec![Stmt::Sync(result_lock, reduce)])]);
+    for i in 0..6 {
+        truth.push(format!("MonteCarlo.pushResult_{i}"));
+    }
+
+    Workload {
+        name: "montecarlo",
+        description: "Java Grande Monte Carlo model",
+        paper_lines: 3_600,
+        program: b.finish(),
+        non_atomic: truth,
+        paper: PaperCounts { atomizer_real: 6, atomizer_false: 0, velodrome_found: 6, missed: 0 },
+    }
+}
+
+/// `raytracer` — Java Grande ray tracer: one easily observed defect plus
+/// one narrow-window defect that Velodrome misses without adversarial
+/// scheduling.
+pub fn raytracer(scale: u32) -> Workload {
+    let mut b = ProgramBuilder::new();
+    let mut truth = Vec::new();
+    let cfgs = config_names("rt", 3);
+    let cfg_refs: Vec<&str> = cfgs.iter().map(String::as_str).collect();
+    shared_modified_setup(&mut b, &cfg_refs);
+
+    truth.push("Scene.checksum".into());
+    let (narrow_methods, partners) = narrow_defects(&mut b, &mut truth, "rt", 1, "rowLock");
+
+    let mut body1 = vec![
+        unary_churn(&mut b, "rt_rows_1", 30 * scale),
+        bare_rmw_method(&mut b, "Scene.checksum", "checksum", 2),
+    ];
+    body1.extend(narrow_methods.clone());
+    for fa in false_alarm_readers(&mut b, "rt", 3) {
+        body1.push(fa);
+    }
+    b.worker(vec![Stmt::Loop(2 * scale, body1)]);
+
+    let mut body2 = vec![
+        unary_churn(&mut b, "rt_rows_2", 30 * scale),
+        bare_rmw_method(&mut b, "Scene.checksum", "checksum", 2),
+    ];
+    body2.extend(partners);
+    b.worker(vec![Stmt::Loop(2 * scale, body2)]);
+
+    Workload {
+        name: "raytracer",
+        description: "Java Grande ray tracer model",
+        paper_lines: 18_000,
+        program: b.finish(),
+        non_atomic: truth,
+        paper: PaperCounts { atomizer_real: 2, atomizer_false: 3, velodrome_found: 1, missed: 1 },
+    }
+}
+
+/// `colt` — CERN scientific computing library: many small defects, some
+/// with narrow windows.
+pub fn colt(scale: u32) -> Workload {
+    let mut b = ProgramBuilder::new();
+    let mut truth = Vec::new();
+    let cfgs = config_names("colt", 2);
+    let cfg_refs: Vec<&str> = cfgs.iter().map(String::as_str).collect();
+    shared_modified_setup(&mut b, &cfg_refs);
+
+    let easy = easy_defects(&mut b, &mut truth, "Matrix.update", 20, "matrixLock");
+    let (narrow, partners) = narrow_defects(&mut b, &mut truth, "colt", 7, "histLock");
+
+    let mut body1 = easy.clone();
+    body1.extend(narrow.clone());
+    body1.push(locked_method(&mut b, "Matrix.norm", "matrixLock", "norm"));
+    body1.push(locked_method(&mut b, "Matrix.scale", "matrixLock", "scaleFactor"));
+    body1.push(locked_method(&mut b, "Histogram.merge", "histLock", "bins"));
+    for fa in false_alarm_readers(&mut b, "colt", 2) {
+        body1.push(fa);
+    }
+    b.worker(vec![Stmt::Loop(scale, body1)]);
+
+    let mut body2 = easy;
+    body2.extend(partners);
+    body2.push(locked_method(&mut b, "Matrix.norm", "matrixLock", "norm"));
+    body2.push(locked_method(&mut b, "Matrix.scale", "matrixLock", "scaleFactor"));
+    body2.push(locked_method(&mut b, "Histogram.merge", "histLock", "bins"));
+    b.worker(vec![Stmt::Loop(scale, body2)]);
+
+    Workload {
+        name: "colt",
+        description: "scientific computing library model",
+        paper_lines: 29_000,
+        program: b.finish(),
+        non_atomic: truth,
+        paper: PaperCounts { atomizer_real: 27, atomizer_false: 2, velodrome_found: 20, missed: 7 },
+    }
+}
+
+/// `philo` — dining philosophers: five philosophers contending on a single
+/// table lock, with per-pair fork state and a shared meal counter.
+pub fn philo(scale: u32) -> Workload {
+    let mut b = ProgramBuilder::new();
+    let mut truth = Vec::new();
+
+    for p in 0..5 {
+        let left = format!("fork_{p}");
+        let right = format!("fork_{}", (p + 1) % 5);
+        let l_eat = b.label("Philosopher.eat");
+        let m_table = b.lock("tableLock");
+        let vl = b.var(&left);
+        let vr = b.var(&right);
+        // eat: check both forks in one critical section, grab them in a
+        // second — the classic check-then-act defect.
+        let eat = Stmt::Atomic(
+            l_eat,
+            vec![
+                Stmt::Sync(m_table, vec![Stmt::Read(vl), Stmt::Read(vr)]),
+                Stmt::Sync(m_table, vec![Stmt::Write(vl), Stmt::Write(vr)]),
+            ],
+        );
+        let body = vec![
+            eat,
+            bare_rmw_method(&mut b, "Philosopher.think", "mealsServed", 2),
+            locked_method(&mut b, "Philosopher.sit", "tableLock", "seats"),
+        ];
+        b.worker(vec![Stmt::Loop(3 * scale, body)]);
+    }
+    truth.push("Philosopher.eat".into());
+    truth.push("Philosopher.think".into());
+
+    Workload {
+        name: "philo",
+        description: "dining philosophers simulation",
+        paper_lines: 84,
+        program: b.finish(),
+        non_atomic: truth,
+        paper: PaperCounts { atomizer_real: 2, atomizer_false: 0, velodrome_found: 2, missed: 0 },
+    }
+}
+
+/// `raja` — ray tracer with fully correct synchronization: zero warnings
+/// from everyone.
+pub fn raja(scale: u32) -> Workload {
+    let mut b = ProgramBuilder::new();
+
+    for w in 0..2 {
+        let mut body = vec![
+            unary_churn(&mut b, &format!("raja_pixels_{w}"), 20 * scale),
+            locked_method(&mut b, "Raja.accumulate", "frameLock", "frame"),
+            locked_method(&mut b, "Raja.nextRay", "rayLock", "rayIdx"),
+            read_only_method(&mut b, "Raja.sceneInfo", &["raja_scene_a", "raja_scene_b"]),
+        ];
+        body.extend(routine_methods(&mut b, "raja", w));
+        b.worker(vec![Stmt::Loop(3 * scale, body)]);
+    }
+
+    Workload {
+        name: "raja",
+        description: "correctly synchronized ray tracer model",
+        paper_lines: 10_000,
+        program: b.finish(),
+        non_atomic: Vec::new(),
+        paper: PaperCounts { atomizer_real: 0, atomizer_false: 0, velodrome_found: 0, missed: 0 },
+    }
+}
+
+/// `multiset` — the basic multiset whose `Set.add`-style methods motivate
+/// the paper; heavy unary traffic exercises merging.
+pub fn multiset(scale: u32) -> Workload {
+    let mut b = ProgramBuilder::new();
+    let mut truth = Vec::new();
+
+    let methods = ["Multiset.add", "Multiset.remove", "Multiset.addIfAbsent", "Multiset.grow", "Multiset.clearAndCount"];
+    for _ in 0..2 {
+        let mut body = vec![unary_churn(&mut b, "ms_scratch", 100 * scale)];
+        for name in methods {
+            body.push(double_cs_method(&mut b, name, "elemsLock", "elems"));
+        }
+        b.worker(vec![Stmt::Loop(2 * scale, body)]);
+    }
+    truth.extend(methods.iter().map(|s| s.to_string()));
+
+    Workload {
+        name: "multiset",
+        description: "basic multiset implementation",
+        paper_lines: 300,
+        program: b.finish(),
+        non_atomic: truth,
+        paper: PaperCounts { atomizer_real: 5, atomizer_false: 0, velodrome_found: 5, missed: 0 },
+    }
+}
+
+/// `webl` — web scripting language interpreter running a crawler.
+pub fn webl(scale: u32) -> Workload {
+    let mut b = ProgramBuilder::new();
+    let mut truth = Vec::new();
+    let cfgs = config_names("webl", 2);
+    let cfg_refs: Vec<&str> = cfgs.iter().map(String::as_str).collect();
+    shared_modified_setup(&mut b, &cfg_refs);
+
+    let easy = easy_defects(&mut b, &mut truth, "Interp.global", 22, "globalLock");
+    let (narrow, partners) = narrow_defects(&mut b, &mut truth, "webl", 2, "pageLock");
+
+    for w in 0..3 {
+        let mut body = vec![unary_churn(&mut b, &format!("webl_pages_{w}"), 50 * scale)];
+        body.extend(easy.clone());
+        if w == 0 {
+            body.extend(narrow.clone());
+            for fa in false_alarm_readers(&mut b, "webl", 2) {
+                body.push(fa);
+            }
+        }
+        if w == 1 {
+            body.extend(partners.clone());
+        }
+        body.push(locked_method(&mut b, "Crawler.frontier", "frontierLock", "frontier"));
+        b.worker(vec![Stmt::Loop(scale, body)]);
+    }
+
+    Workload {
+        name: "webl",
+        description: "web scripting interpreter running a crawler",
+        paper_lines: 22_300,
+        program: b.finish(),
+        non_atomic: truth,
+        paper: PaperCounts { atomizer_real: 24, atomizer_false: 2, velodrome_found: 22, missed: 2 },
+    }
+}
+
+/// `jigsaw` — the W3C web server serving a fixed set of pages.
+pub fn jigsaw(scale: u32) -> Workload {
+    let mut b = ProgramBuilder::new();
+    let mut truth = Vec::new();
+    let cfgs = config_names("jig", 5);
+    let cfg_refs: Vec<&str> = cfgs.iter().map(String::as_str).collect();
+    shared_modified_setup(&mut b, &cfg_refs);
+
+    let easy = easy_defects(&mut b, &mut truth, "Resource.touch", 44, "resourceLock");
+    let (narrow, partners) = narrow_defects(&mut b, &mut truth, "jig", 11, "storeLock");
+
+    for w in 0..4 {
+        let mut body = vec![unary_churn(&mut b, &format!("jig_conn_{w}"), 30 * scale)];
+        body.extend(easy.clone());
+        if w == 0 {
+            body.extend(narrow.clone());
+            for fa in false_alarm_readers(&mut b, "jig", 5) {
+                body.push(fa);
+            }
+        }
+        if w == 1 {
+            body.extend(partners.clone());
+        }
+        body.push(locked_method(&mut b, "Logger.append", "logLock", "accessLog"));
+        b.worker(vec![Stmt::Loop(scale, body)]);
+    }
+    // Acceptor thread: hands requests to the handlers through a correctly
+    // locked queue, plus its own connection bookkeeping.
+    let acceptor = vec![
+        locked_method(&mut b, "Acceptor.enqueue", "queueLock", "requestQueue"),
+        locked_method(&mut b, "Logger.append", "logLock", "accessLog"),
+        unary_churn(&mut b, "jig_acceptor_buf", 10 * scale),
+    ];
+    b.worker(vec![Stmt::Loop(2 * scale, acceptor)]);
+
+    Workload {
+        name: "jigsaw",
+        description: "W3C Jigsaw web server model",
+        paper_lines: 91_100,
+        program: b.finish(),
+        non_atomic: truth,
+        paper: PaperCounts { atomizer_real: 55, atomizer_false: 5, velodrome_found: 44, missed: 11 },
+    }
+}

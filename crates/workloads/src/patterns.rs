@@ -1,0 +1,202 @@
+//! Reusable synchronization-idiom building blocks for benchmark models.
+//!
+//! Each pattern is a statement shape whose atomicity status is known by
+//! construction, so workloads assembled from them carry exact ground truth:
+//!
+//! | pattern | truly atomic? | Atomizer verdict | typical use |
+//! |---|---|---|---|
+//! | [`locked_method`] | yes | silent | correctly synchronized methods |
+//! | [`read_only_method`] | yes | silent | getters on immutable state |
+//! | [`double_cs_method`] | **no** (check-then-act) | warns | real defects |
+//! | [`bare_rmw_method`] | **no** (unprotected RMW) | warns | real defects |
+//! | [`ordered_racy_reader`] | yes (fork/join ordered) | **false alarm** | jbb/mtrt-style alarms |
+
+use velodrome_sim::{ProgramBuilder, Stmt};
+
+/// A correctly synchronized method: one critical section covering every
+/// shared access. Always atomic.
+pub fn locked_method(b: &mut ProgramBuilder, label: &str, lock: &str, var: &str) -> Stmt {
+    let l = b.label(label);
+    let m = b.lock(lock);
+    let x = b.var(var);
+    Stmt::Atomic(l, vec![Stmt::Sync(m, vec![Stmt::Read(x), Stmt::Write(x)])])
+}
+
+/// A method reading variables that are never written concurrently.
+/// Always atomic.
+pub fn read_only_method(b: &mut ProgramBuilder, label: &str, vars: &[&str]) -> Stmt {
+    let l = b.label(label);
+    let body = vars.iter().map(|v| Stmt::Read(b.var(v))).collect();
+    Stmt::Atomic(l, body)
+}
+
+/// The `Set.add` shape: a check in one critical section, an update in a
+/// second one. Race-free but **not atomic** — another thread can intervene
+/// between the sections.
+pub fn double_cs_method(b: &mut ProgramBuilder, label: &str, lock: &str, var: &str) -> Stmt {
+    let l = b.label(label);
+    let m = b.lock(lock);
+    let x = b.var(var);
+    Stmt::Atomic(
+        l,
+        vec![
+            Stmt::Sync(m, vec![Stmt::Read(x)]),          // contains
+            Stmt::Sync(m, vec![Stmt::Read(x), Stmt::Write(x)]), // add
+        ],
+    )
+}
+
+/// An unprotected read-modify-write inside an atomic block, with optional
+/// compute padding between the read and the write (a wider window is easier
+/// to hit). **Not atomic** and also racy.
+pub fn bare_rmw_method(b: &mut ProgramBuilder, label: &str, var: &str, pad: u32) -> Stmt {
+    let l = b.label(label);
+    let x = b.var(var);
+    let mut body = vec![Stmt::Read(x)];
+    if pad > 0 {
+        body.push(Stmt::Compute(pad));
+    }
+    body.push(Stmt::Write(x));
+    Stmt::Atomic(l, body)
+}
+
+/// A method whose shared reads target data initialized in *earlier
+/// fork/join phases* and never written concurrently: genuinely atomic
+/// under every schedule, but the Eraser lockset sees the variable as
+/// shared-modified with an empty lockset, so the Atomizer reports a false
+/// alarm (a racy non-mover after the critical section's release).
+///
+/// Use [`shared_modified_setup`] to put `config_var` into the
+/// shared-modified state via ordered phases.
+pub fn ordered_racy_reader(
+    b: &mut ProgramBuilder,
+    label: &str,
+    config_var: &str,
+    stats_lock: &str,
+    stats_var: &str,
+) -> Stmt {
+    let l = b.label(label);
+    let c = b.var(config_var);
+    let m = b.lock(stats_lock);
+    let s = b.var(stats_var);
+    Stmt::Atomic(
+        l,
+        vec![
+            Stmt::Sync(m, vec![Stmt::Read(s), Stmt::Write(s)]),
+            // Racy per Eraser, ordered in reality: non-mover after the
+            // release → Atomizer false alarm; no cycle for Velodrome.
+            Stmt::Read(c),
+        ],
+    )
+}
+
+/// Emits the initialization choreography that drives `config_vars` into
+/// Eraser's `SharedModified(∅)` state *without any real race*: the main
+/// thread writes each variable during setup, then a dedicated
+/// initialization phase (one worker, fully fork/join-ordered before the
+/// main phase) rewrites them. Call **before** adding main-phase workers,
+/// then call `b.new_phase()`.
+pub fn shared_modified_setup(b: &mut ProgramBuilder, config_vars: &[&str]) {
+    let mut setup = Vec::new();
+    let mut init = Vec::new();
+    for v in config_vars {
+        let x = b.var(v);
+        setup.push(Stmt::Write(x));
+        init.push(Stmt::Write(x));
+    }
+    b.setup(setup);
+    b.worker(init); // initialization phase worker
+    b.new_phase();
+}
+
+/// A burst of non-transactional traffic on a thread-private variable:
+/// exercises the merge optimization (huge allocation counts without merge,
+/// almost none with it).
+pub fn unary_churn(b: &mut ProgramBuilder, var: &str, iters: u32) -> Stmt {
+    let x = b.var(var);
+    Stmt::Loop(iters, vec![Stmt::Read(x), Stmt::Write(x)])
+}
+
+/// A single, compute-delayed unary write: a low-frequency conflict partner
+/// that makes a defect's detection window narrow (schedule-dependent).
+pub fn rare_conflict(b: &mut ProgramBuilder, var: &str, delay: u32) -> Vec<Stmt> {
+    let x = b.var(var);
+    vec![Stmt::Compute(delay), Stmt::Write(x)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use velodrome::check_trace;
+    use velodrome_atomizer::Atomizer;
+    use velodrome_monitor::run_tool;
+    use velodrome_sim::{run_program, RandomScheduler, RoundRobin};
+
+    fn contended(stmt_for: impl Fn(&mut ProgramBuilder) -> Stmt, iters: u32) -> velodrome_sim::Program {
+        let mut b = ProgramBuilder::new();
+        let s1 = stmt_for(&mut b);
+        let s2 = stmt_for(&mut b);
+        b.worker(vec![Stmt::Loop(iters, vec![s1])]);
+        b.worker(vec![Stmt::Loop(iters, vec![s2])]);
+        b.finish()
+    }
+
+    #[test]
+    fn locked_method_is_atomic_under_all_seeds() {
+        let p = contended(|b| locked_method(b, "inc", "m", "x"), 5);
+        for seed in 0..10 {
+            let trace = run_program(&p, RandomScheduler::new(seed)).trace;
+            assert!(check_trace(&trace).is_empty(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn double_cs_violates_under_round_robin() {
+        let p = contended(|b| double_cs_method(b, "Set.add", "m", "elems"), 5);
+        let trace = run_program(&p, RoundRobin::new()).trace;
+        let warnings = check_trace(&trace);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].message.contains("Set.add"));
+    }
+
+    #[test]
+    fn bare_rmw_violates_under_round_robin() {
+        // A little compute padding inside the window breaks the lockstep
+        // stagger that would otherwise serialize the two loops.
+        let p = contended(|b| bare_rmw_method(b, "inc", "x", 2), 5);
+        let trace = run_program(&p, RoundRobin::new()).trace;
+        assert_eq!(check_trace(&trace).len(), 1);
+    }
+
+    #[test]
+    fn ordered_racy_reader_is_velodrome_silent_but_atomizer_alarms() {
+        let mut b = ProgramBuilder::new();
+        shared_modified_setup(&mut b, &["config"]);
+        let r1 = ordered_racy_reader(&mut b, "getConfig", "config", "mstats", "stats");
+        let r2 = ordered_racy_reader(&mut b, "getConfig", "config", "mstats", "stats");
+        b.worker(vec![Stmt::Loop(3, vec![r1])]);
+        b.worker(vec![Stmt::Loop(3, vec![r2])]);
+        let p = b.finish();
+        for seed in 0..10 {
+            let trace = run_program(&p, RandomScheduler::new(seed)).trace;
+            assert!(
+                check_trace(&trace).is_empty(),
+                "Velodrome must stay silent (seed {seed})"
+            );
+            let mut a = Atomizer::new();
+            let atomizer = run_tool(&mut a, &trace);
+            assert!(!atomizer.is_empty(), "Atomizer false alarm expected (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn read_only_method_is_atomic() {
+        let mut b = ProgramBuilder::new();
+        let m1 = read_only_method(&mut b, "get", &["a", "b"]);
+        let m2 = read_only_method(&mut b, "get", &["a", "b"]);
+        b.worker(vec![Stmt::Loop(5, vec![m1])]);
+        b.worker(vec![Stmt::Loop(5, vec![m2])]);
+        let trace = run_program(&b.finish(), RoundRobin::new()).trace;
+        assert!(check_trace(&trace).is_empty());
+    }
+}

@@ -1,0 +1,106 @@
+//! Structural regression tests for the benchmark models: each model must
+//! keep the trace composition that makes its paper row reproduce.
+
+use std::collections::HashSet;
+use velodrome_events::{Op, TraceStats};
+
+#[test]
+fn jbb_and_mtrt_carry_their_false_alarm_reader_populations() {
+    for (name, expected) in [("jbb", 42), ("mtrt", 27)] {
+        let w = velodrome_workloads::build(name, 1).unwrap();
+        let trace = w.run_round_robin();
+        let labels: HashSet<String> = trace
+            .ops()
+            .iter()
+            .filter_map(|op| match op {
+                Op::Begin { l, .. } => Some(trace.names().label(*l)),
+                _ => None,
+            })
+            .collect();
+        let readers = labels.iter().filter(|l| l.contains("_get_")).count();
+        assert_eq!(readers, expected, "{name} reader population");
+    }
+}
+
+#[test]
+fn unary_heavy_benchmarks_are_mostly_non_transactional() {
+    // tsp and multiset drive the merge-optimization columns of Table 1:
+    // the bulk of their events must sit outside atomic blocks.
+    for name in ["tsp", "multiset"] {
+        let w = velodrome_workloads::build(name, 2).unwrap();
+        let trace = w.run_round_robin();
+        let stats = TraceStats::compute(&trace);
+        let unary_fraction = stats.unary_transactions as f64 / stats.transactions as f64;
+        assert!(
+            unary_fraction > 0.5,
+            "{name}: unary fraction {unary_fraction:.2} too low for a merge showcase"
+        );
+    }
+}
+
+#[test]
+fn phased_benchmarks_have_initialization_phases() {
+    for name in ["jbb", "mtrt", "sor", "elevator", "hedc", "colt", "webl", "jigsaw", "raytracer"] {
+        let w = velodrome_workloads::build(name, 1).unwrap();
+        assert!(
+            w.program.phases.len() >= 2,
+            "{name} should have a fork/join-ordered initialization phase"
+        );
+    }
+}
+
+#[test]
+fn every_model_has_clean_methods_too() {
+    // A benchmark consisting solely of defects would trivialize the
+    // false-alarm measurement: every model (except the tiny multiset and
+    // philo) must also execute methods that are *not* in the truth set.
+    for w in velodrome_workloads::all(1) {
+        if matches!(w.name, "multiset") {
+            continue;
+        }
+        let trace = w.run_round_robin();
+        let clean: HashSet<String> = trace
+            .ops()
+            .iter()
+            .filter_map(|op| match op {
+                Op::Begin { l, .. } => {
+                    let name = trace.names().label(*l);
+                    (!w.is_non_atomic(&name)).then_some(name)
+                }
+                _ => None,
+            })
+            .collect();
+        assert!(!clean.is_empty(), "{} has no correct atomic methods", w.name);
+    }
+}
+
+#[test]
+fn paper_counts_are_internally_consistent() {
+    for w in velodrome_workloads::all(1) {
+        let p = w.paper;
+        assert!(p.velodrome_found + p.missed >= p.atomizer_real.min(p.velodrome_found + p.missed));
+        assert_eq!(
+            p.atomizer_real as usize,
+            w.non_atomic.len().min(p.atomizer_real as usize),
+            "{}: paper count exceeds ground truth",
+            w.name
+        );
+        assert!(
+            w.non_atomic.len() >= p.atomizer_real as usize,
+            "{}: ground truth smaller than paper's real warnings",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn trace_sizes_scale_roughly_linearly() {
+    for name in ["jigsaw", "montecarlo"] {
+        let t1 = velodrome_workloads::build(name, 1).unwrap().run_round_robin().len() as f64;
+        let t4 = velodrome_workloads::build(name, 4).unwrap().run_round_robin().len() as f64;
+        let ratio = t4 / t1;
+        // Loop counts and per-iteration churn both scale, so growth is
+        // between linear and quadratic in the scale factor.
+        assert!((3.0..=16.0).contains(&ratio), "{name}: scale ratio {ratio:.1}");
+    }
+}

@@ -1,0 +1,15 @@
+//! Example binaries for the Velodrome atomicity checker.
+//!
+//! * `quickstart` — the paper's `Set.add` bug, end to end, with the dot
+//!   error graph;
+//! * `handoff` — the flag-handoff program where the Atomizer false-alarms
+//!   and Velodrome stays silent;
+//! * `bank` — a non-atomic bank transfer found and blamed, then the fixed
+//!   version passing;
+//! * `live_threads` — real Rust threads monitored online through the shims;
+//! * `adversarial` — defect injection plus Atomizer-guided adversarial
+//!   scheduling;
+//! * `spec_workflow` — the paper's two-phase workflow: refute methods under
+//!   the all-atomic assumption, then check only the surviving spec.
+//!
+//! Run with `cargo run -p velodrome-examples --bin <name>`.

@@ -1,0 +1,4 @@
+//! Integration-test crate for the Velodrome workspace.
+//!
+//! All content lives in the `tests/` directory of this crate; the library
+//! itself is intentionally empty.

@@ -1,0 +1,195 @@
+//! Differential testing of Theorem 1: Velodrome reports a violation
+//! **iff** the observed trace is not conflict-serializable.
+//!
+//! Three independent implementations are compared on traces of randomly
+//! generated programs under randomly seeded schedulers:
+//!
+//! * the optimized engine (Figure 4: merge, GC, packed steps);
+//! * the basic engine (Figure 2 `[INS OUTSIDE]` rule, no merge);
+//! * the offline oracle (full transaction conflict graph, no shared code
+//!   with the online engines).
+
+use proptest::prelude::*;
+use velodrome::{check_trace_with, VelodromeConfig};
+use velodrome_events::{oracle, semantics, Trace};
+use velodrome_sim::{random_program, run_program, GenConfig, RandomScheduler, RoundRobin};
+
+fn velodrome_verdict(trace: &Trace, merge: bool) -> bool {
+    let cfg = VelodromeConfig { merge, ..VelodromeConfig::default() };
+    let (warnings, engine) = check_trace_with(trace, cfg);
+    let non_serializable = engine.stats().cycles_detected > 0;
+    assert_eq!(
+        warnings.is_empty(),
+        !non_serializable,
+        "warnings and cycle detection must agree"
+    );
+    engine.check_invariants();
+    non_serializable
+}
+
+fn assert_agreement(trace: &Trace, context: &str) {
+    assert_eq!(semantics::validate(trace), Ok(()), "{context}: ill-formed trace");
+    let expected = !oracle::is_serializable(trace);
+    let optimized = velodrome_verdict(trace, true);
+    let basic = velodrome_verdict(trace, false);
+    assert_eq!(
+        optimized, expected,
+        "{context}: optimized engine disagrees with oracle on:\n{trace}"
+    );
+    assert_eq!(
+        basic, expected,
+        "{context}: basic engine disagrees with oracle on:\n{trace}"
+    );
+}
+
+#[test]
+fn seeded_programs_random_schedules() {
+    let cfg = GenConfig::default();
+    for seed in 0..150u64 {
+        let program = random_program(&cfg, seed);
+        let result = run_program(&program, RandomScheduler::new(seed.wrapping_mul(0x9e37)));
+        if result.deadlocked {
+            continue;
+        }
+        assert_agreement(&result.trace, &format!("seed {seed}"));
+    }
+}
+
+#[test]
+fn seeded_programs_round_robin() {
+    let cfg = GenConfig { threads: 2, vars: 2, locks: 1, ..GenConfig::default() };
+    for seed in 0..100u64 {
+        let program = random_program(&cfg, seed);
+        let result = run_program(&program, RoundRobin::new());
+        if result.deadlocked {
+            continue;
+        }
+        assert_agreement(&result.trace, &format!("rr seed {seed}"));
+    }
+}
+
+#[test]
+fn high_contention_programs() {
+    // One variable, no locks: maximal conflict density.
+    let cfg = GenConfig {
+        threads: 3,
+        vars: 1,
+        locks: 0,
+        stmts_per_thread: 6,
+        sync_prob: 0.0,
+        ..GenConfig::default()
+    };
+    for seed in 0..100u64 {
+        let program = random_program(&cfg, seed);
+        let result = run_program(&program, RandomScheduler::new(!seed));
+        if result.deadlocked {
+            continue;
+        }
+        assert_agreement(&result.trace, &format!("contended seed {seed}"));
+    }
+}
+
+/// Equivalent traces (adjacent commuting swaps) keep every verdict.
+#[test]
+fn verdict_invariant_under_commuting_swaps() {
+    use rand::{Rng, SeedableRng};
+    let cfg = GenConfig { threads: 3, vars: 2, locks: 1, ..GenConfig::default() };
+    for seed in 0..40u64 {
+        let program = random_program(&cfg, seed);
+        let result = run_program(&program, RandomScheduler::new(seed));
+        if result.deadlocked {
+            continue;
+        }
+        let base = result.trace;
+        let expected = !oracle::is_serializable(&base);
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xabcd);
+        let mut ops: Vec<_> = base.ops().to_vec();
+        for _ in 0..200 {
+            if ops.len() < 2 {
+                break;
+            }
+            let i = rng.gen_range(0..ops.len() - 1);
+            if ops[i].commutes_with(ops[i + 1]) {
+                ops.swap(i, i + 1);
+            }
+        }
+        let mut swapped = Trace::from_ops(ops);
+        *swapped.names_mut() = base.names().clone();
+        assert_eq!(semantics::validate(&swapped), Ok(()), "swaps preserve well-formedness");
+        assert_eq!(
+            !oracle::is_serializable(&swapped),
+            expected,
+            "oracle verdict changed under equivalence (seed {seed})"
+        );
+        assert_eq!(
+            velodrome_verdict(&swapped, true),
+            expected,
+            "velodrome verdict changed under equivalence (seed {seed})"
+        );
+    }
+}
+
+/// Tiny traces: the online verdict matches the brute-force *definition* of
+/// serializability (search over all equivalent traces for a serial one).
+#[test]
+fn verdict_matches_bruteforce_definition_on_tiny_traces() {
+    let cfg = GenConfig {
+        threads: 2,
+        vars: 2,
+        locks: 1,
+        stmts_per_thread: 2,
+        max_depth: 2,
+        ..GenConfig::default()
+    };
+    let mut decided = 0;
+    for seed in 0..120u64 {
+        let program = random_program(&cfg, seed);
+        let result = run_program(&program, RandomScheduler::new(seed));
+        if result.deadlocked || result.trace.len() > 14 {
+            continue;
+        }
+        let Ok(brute) = oracle::serial_equivalent_exists(&result.trace, 2_000_000) else {
+            continue;
+        };
+        decided += 1;
+        assert_eq!(
+            velodrome_verdict(&result.trace, true),
+            !brute,
+            "definition mismatch on seed {seed}:\n{}",
+            result.trace
+        );
+    }
+    assert!(decided >= 10, "expected enough tiny traces, got {decided}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Property form of the three-way agreement over the full generator
+    /// parameter space.
+    #[test]
+    fn prop_three_way_agreement(
+        gen_seed in 0u64..10_000,
+        sched_seed in 0u64..10_000,
+        threads in 1usize..4,
+        vars in 1usize..4,
+        locks in 0usize..3,
+        stmts in 2usize..8,
+    ) {
+        let cfg = GenConfig {
+            threads,
+            vars,
+            locks,
+            stmts_per_thread: stmts,
+            ..GenConfig::default()
+        };
+        let program = random_program(&cfg, gen_seed);
+        let result = run_program(&program, RandomScheduler::new(sched_seed));
+        prop_assume!(!result.deadlocked);
+        let trace = result.trace;
+        let expected = !oracle::is_serializable(&trace);
+        prop_assert_eq!(velodrome_verdict(&trace, true), expected, "optimized");
+        prop_assert_eq!(velodrome_verdict(&trace, false), expected, "basic");
+    }
+}

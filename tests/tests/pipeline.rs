@@ -1,0 +1,163 @@
+//! End-to-end pipeline tests across crates: workloads → schedulers →
+//! filters → chained back-ends → reports.
+
+use std::collections::HashSet;
+use velodrome::{check_trace, Velodrome, VelodromeConfig};
+use velodrome_atomizer::Atomizer;
+use velodrome_events::Trace;
+use velodrome_lockset::Eraser;
+use velodrome_monitor::{run_tool, AtomicitySpec, SpecFilter, ToolChain, WarningCategory};
+use velodrome_workloads::adversarial::adversarial_scheduler;
+use velodrome_sim::run_program;
+
+fn velodrome_with_names(trace: &Trace) -> Vec<velodrome_monitor::Warning> {
+    let cfg = VelodromeConfig { names: trace.names().clone(), ..VelodromeConfig::default() };
+    let mut v = Velodrome::with_config(cfg);
+    run_tool(&mut v, trace)
+}
+
+/// Completeness on every workload, under both plain and adversarial
+/// scheduling: Velodrome never reports a method that is actually atomic.
+#[test]
+fn zero_false_alarms_across_all_workloads_and_schedulers() {
+    for w in velodrome_workloads::all(1) {
+        for seed in 0..4u64 {
+            let plain = w.run(seed);
+            let adv = run_program(&w.program, adversarial_scheduler(seed, 200));
+            assert!(!adv.deadlocked);
+            for trace in [&plain, &adv.trace] {
+                for warning in velodrome_with_names(trace) {
+                    let name = trace.names().label(warning.label.expect("label"));
+                    assert!(
+                        w.is_non_atomic(&name),
+                        "false alarm on {}::{name} (seed {seed})",
+                        w.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Running tools chained over one stream equals running them separately.
+#[test]
+fn tool_chain_matches_individual_runs() {
+    let w = velodrome_workloads::build("hedc", 1).unwrap();
+    let trace = w.run(7);
+
+    let solo_velodrome = check_trace(&trace);
+    let solo_atomizer = run_tool(&mut Atomizer::new(), &trace);
+    let solo_eraser = run_tool(&mut Eraser::new(), &trace);
+
+    let mut chain = ToolChain::new()
+        .with(Velodrome::new())
+        .with(Atomizer::new())
+        .with(Eraser::new());
+    let chained = run_tool(&mut chain, &trace);
+
+    let count = |tool: &str| chained.iter().filter(|w| w.tool == tool).count();
+    assert_eq!(count("velodrome"), solo_velodrome.len());
+    assert_eq!(count("atomizer"), solo_atomizer.len());
+    assert_eq!(count("eraser"), solo_eraser.len());
+}
+
+/// Excluding every atomic block from the spec silences atomicity checking
+/// entirely (everything becomes unary transactions, which are serializable).
+#[test]
+fn excluding_all_labels_silences_velodrome() {
+    let w = velodrome_workloads::build("multiset", 1).unwrap();
+    let trace = w.run(3);
+    assert!(!check_trace(&trace).is_empty(), "baseline has violations");
+
+    let labels: HashSet<_> = trace
+        .ops()
+        .iter()
+        .filter_map(|op| match op {
+            velodrome_events::Op::Begin { l, .. } => Some(*l),
+            _ => None,
+        })
+        .collect();
+    let mut filtered = SpecFilter::new(AtomicitySpec::excluding(labels), Velodrome::new());
+    let warnings = run_tool(&mut filtered, &trace);
+    assert!(warnings.is_empty(), "{warnings:?}");
+}
+
+/// Trace serialization roundtrips through JSON with identical analysis
+/// results.
+#[test]
+fn serialized_traces_reanalyze_identically() {
+    let w = velodrome_workloads::build("tsp", 1).unwrap();
+    let trace = w.run(5);
+    let reloaded = Trace::from_json(&trace.to_json()).expect("roundtrip");
+    let a = velodrome_with_names(&trace);
+    let b = velodrome_with_names(&reloaded);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.op_index, y.op_index);
+        assert_eq!(x.message, y.message);
+    }
+}
+
+/// Warnings from atomicity back-ends are categorized as atomicity, race
+/// detectors as races.
+#[test]
+fn warning_categories_are_consistent() {
+    let w = velodrome_workloads::build("tsp", 1).unwrap();
+    let trace = w.run(2);
+    for warning in check_trace(&trace) {
+        assert_eq!(warning.category, WarningCategory::Atomicity);
+        assert_eq!(warning.tool, "velodrome");
+    }
+    for warning in run_tool(&mut Eraser::new(), &trace) {
+        assert_eq!(warning.category, WarningCategory::Race);
+    }
+}
+
+/// The engine's documented Table 1 behavior holds on the biggest workload:
+/// allocations stay proportional to transactions, alive counts stay tiny.
+#[test]
+fn jigsaw_scales_with_bounded_live_nodes() {
+    let w = velodrome_workloads::build("jigsaw", 3).unwrap();
+    let trace = w.run_round_robin();
+    assert!(trace.len() > 5_000);
+    let cfg = VelodromeConfig { names: trace.names().clone(), ..VelodromeConfig::default() };
+    let mut engine = Velodrome::with_config(cfg);
+    let _ = run_tool(&mut engine, &trace);
+    let stats = engine.stats();
+    assert!(stats.max_alive <= 64, "max alive {}", stats.max_alive);
+    assert!(stats.nodes_allocated < trace.len() as u64, "allocations bounded by events");
+}
+
+/// Velodrome's subsequence property (Section 6): warnings found on a trace
+/// with uninstrumented (dropped) variables are still real violations of the
+/// full trace.
+#[test]
+fn subsequence_warnings_remain_valid() {
+    use velodrome_events::oracle;
+    let w = velodrome_workloads::build("multiset", 1).unwrap();
+    let full = w.run(1);
+    // Drop all accesses to every other variable, as if those fields were in
+    // an uninstrumented library.
+    let mut partial = Trace::new();
+    *partial.names_mut() = full.names().clone();
+    for (_, op) in full.iter() {
+        let keep = match op.var() {
+            Some(x) => x.index() % 2 == 0,
+            None => true,
+        };
+        if keep {
+            partial.push(op);
+        }
+    }
+    let _ = match (oracle::is_serializable(&partial), oracle::is_serializable(&full)) {
+        // If the subsequence is non-serializable, the full trace must be too.
+        (false, full_ok) => assert!(!full_ok, "subsequence property violated"),
+        _ => {}
+    };
+    // And Velodrome on the subsequence only reports genuinely non-atomic
+    // methods of the full program.
+    for warning in velodrome_with_names(&partial) {
+        let name = partial.names().label(warning.label.expect("label"));
+        assert!(w.is_non_atomic(&name), "{name}");
+    }
+}
