@@ -83,12 +83,18 @@ impl Atomizer {
     /// Creates an Atomizer that reports each atomic-block label at most
     /// once (the paper counts non-atomic *methods*).
     pub fn new() -> Self {
-        Self { dedup_per_label: true, ..Self::default() }
+        Self {
+            dedup_per_label: true,
+            ..Self::default()
+        }
     }
 
     /// Creates an Atomizer reporting every dynamic violation.
     pub fn without_dedup() -> Self {
-        Self { dedup_per_label: false, ..Self::default() }
+        Self {
+            dedup_per_label: false,
+            ..Self::default()
+        }
     }
 
     /// Dynamic violations observed (before deduplication).
@@ -202,7 +208,10 @@ pub struct AdvisorConfig {
 
 impl Default for AdvisorConfig {
     fn default() -> Self {
-        Self { delay_rmw_writes: true, delay_racy_reads: false }
+        Self {
+            delay_rmw_writes: true,
+            delay_racy_reads: false,
+        }
     }
 }
 
@@ -224,12 +233,18 @@ pub struct RmwAdvisor {
 impl RmwAdvisor {
     /// Creates an advisor with the default (writes-only) policy.
     pub fn new() -> Self {
-        Self { cfg: AdvisorConfig::default(), ..Self::default() }
+        Self {
+            cfg: AdvisorConfig::default(),
+            ..Self::default()
+        }
     }
 
     /// Creates an advisor with an explicit pausing policy.
     pub fn with_config(cfg: AdvisorConfig) -> Self {
-        Self { cfg, ..Self::default() }
+        Self {
+            cfg,
+            ..Self::default()
+        }
     }
 
     /// Observes an emitted operation (feed every event in order).
@@ -324,7 +339,10 @@ mod tests {
             // Make x racy first (shared-modified, empty lockset).
             b.write("T2", "x");
             b.write("T3", "x");
-            b.begin("T1", "inc").read("T1", "x").write("T1", "x").end("T1");
+            b.begin("T1", "inc")
+                .read("T1", "x")
+                .write("T1", "x")
+                .end("T1");
         });
         assert_eq!(w.len(), 1);
         assert!(w[0].message.contains("non-mover"), "{}", w[0].message);
@@ -353,7 +371,10 @@ mod tests {
             b.write("T2", "x");
             b.write("T3", "x");
             for _ in 0..5 {
-                b.begin("T1", "inc").read("T1", "x").write("T1", "x").end("T1");
+                b.begin("T1", "inc")
+                    .read("T1", "x")
+                    .write("T1", "x")
+                    .end("T1");
             }
         };
         let w = atomizer_warnings(make);
@@ -412,14 +433,20 @@ mod tests {
     fn rmw_advisor_resets_at_block_end() {
         let mut adv = RmwAdvisor::new();
         let mut b = TraceBuilder::new();
-        b.begin("T1", "inc").read("T1", "x").write("T1", "x").end("T1");
+        b.begin("T1", "inc")
+            .read("T1", "x")
+            .write("T1", "x")
+            .end("T1");
         let trace = b.finish();
         for (i, op) in trace.iter() {
             adv.observe(i, op);
         }
         let t1 = velodrome_events::ThreadId::new(0);
         let x = velodrome_events::VarId::new(0);
-        assert!(!adv.should_delay(t1, Op::Write { t: t1, x }), "cleared after end");
+        assert!(
+            !adv.should_delay(t1, Op::Write { t: t1, x }),
+            "cleared after end"
+        );
     }
 
     #[test]

@@ -8,7 +8,11 @@ use velodrome_events::Trace;
 use velodrome_monitor::run_tool;
 
 fn analyze(trace: &Trace, merge: bool, gc: bool) {
-    let cfg = VelodromeConfig { merge, gc, ..VelodromeConfig::default() };
+    let cfg = VelodromeConfig {
+        merge,
+        gc,
+        ..VelodromeConfig::default()
+    };
     let mut v = Velodrome::with_config(cfg);
     let _ = run_tool(&mut v, trace);
 }
@@ -31,9 +35,11 @@ fn ablation(c: &mut Criterion) {
         ("merge+nogc", true, false),
         ("nomerge+nogc", false, false),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &(merge, gc), |b, &(m, g)| {
-            b.iter(|| analyze(&trace, m, g))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &(merge, gc),
+            |b, &(m, g)| b.iter(|| analyze(&trace, m, g)),
+        );
     }
     group.finish();
 }

@@ -26,9 +26,7 @@ fn backend_overhead(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::from_parameter(backend.name()),
                 &backend,
-                |bench, &backend| {
-                    bench.iter(|| run_with_spec(backend, &trace, Some(spec.clone())))
-                },
+                |bench, &backend| bench.iter(|| run_with_spec(backend, &trace, Some(spec.clone()))),
             );
         }
         group.finish();

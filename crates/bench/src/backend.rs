@@ -41,8 +41,12 @@ impl Backend {
     ];
 
     /// The backends timed in the paper's Table 1.
-    pub const TABLE1: [Backend; 4] =
-        [Backend::Empty, Backend::Eraser, Backend::Atomizer, Backend::Velodrome];
+    pub const TABLE1: [Backend; 4] = [
+        Backend::Empty,
+        Backend::Eraser,
+        Backend::Atomizer,
+        Backend::Velodrome,
+    ];
 
     /// Stable display name.
     pub fn name(self) -> &'static str {
@@ -79,7 +83,11 @@ impl RunOutcome {
 }
 
 fn velodrome_config(trace: &Trace, merge: bool) -> VelodromeConfig {
-    VelodromeConfig { merge, names: trace.names().clone(), ..VelodromeConfig::default() }
+    VelodromeConfig {
+        merge,
+        names: trace.names().clone(),
+        ..VelodromeConfig::default()
+    }
 }
 
 /// Runs `backend` over the whole trace, checking every atomic block.
@@ -89,11 +97,7 @@ pub fn run(backend: Backend, trace: &Trace) -> RunOutcome {
 
 /// Runs `backend` over the trace; with a spec, `begin`/`end` markers of
 /// excluded blocks are filtered first (the Table 1 configuration).
-pub fn run_with_spec(
-    backend: Backend,
-    trace: &Trace,
-    spec: Option<AtomicitySpec>,
-) -> RunOutcome {
+pub fn run_with_spec(backend: Backend, trace: &Trace, spec: Option<AtomicitySpec>) -> RunOutcome {
     fn timed<T: Tool>(
         backend: Backend,
         trace: &Trace,
@@ -107,14 +111,24 @@ pub fn run_with_spec(
                 let start = Instant::now();
                 let warnings = run_tool(&mut tool, trace);
                 let elapsed = start.elapsed();
-                RunOutcome { backend, warnings, elapsed, stats: stats(&tool) }
+                RunOutcome {
+                    backend,
+                    warnings,
+                    elapsed,
+                    stats: stats(&tool),
+                }
             }
             Some(spec) => {
                 let mut filtered = SpecFilter::new(spec, tool);
                 let start = Instant::now();
                 let warnings = run_tool(&mut filtered, trace);
                 let elapsed = start.elapsed();
-                RunOutcome { backend, warnings, elapsed, stats: stats(filtered.inner()) }
+                RunOutcome {
+                    backend,
+                    warnings,
+                    elapsed,
+                    stats: stats(filtered.inner()),
+                }
             }
         }
     }
@@ -167,9 +181,7 @@ mod tests {
         assert_eq!(merged.warnings.len(), 1);
         assert_eq!(unmerged.warnings.len(), 1);
         assert!(merged.stats.is_some());
-        assert!(
-            unmerged.stats.unwrap().nodes_allocated >= merged.stats.unwrap().nodes_allocated
-        );
+        assert!(unmerged.stats.unwrap().nodes_allocated >= merged.stats.unwrap().nodes_allocated);
     }
 
     #[test]

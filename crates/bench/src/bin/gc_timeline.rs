@@ -28,13 +28,23 @@ fn main() {
             report::count(trace.len() as u64),
             report::count(stats.nodes_allocated),
             report::count(stats.max_alive),
-            samples.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(" "),
+            samples
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(" "),
         ]);
     }
     println!(
         "{}",
         report::table(
-            &["program", "events", "allocated", "max alive", "live nodes at 0%,10%,...,90%"],
+            &[
+                "program",
+                "events",
+                "allocated",
+                "max alive",
+                "live nodes at 0%,10%,...,90%"
+            ],
             &rows
         )
     );

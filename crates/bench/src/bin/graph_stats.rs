@@ -34,7 +34,15 @@ fn main() {
     println!(
         "{}",
         report::table(
-            &["program", "events", "alloc w/o merge", "alive", "alloc w/ merge", "alive", "collected"],
+            &[
+                "program",
+                "events",
+                "alloc w/o merge",
+                "alive",
+                "alloc w/ merge",
+                "alive",
+                "collected"
+            ],
             &rows
         )
     );

@@ -1,0 +1,155 @@
+//! Hot-path benchmark: redundant-edge elision + epoch cache vs. baseline.
+//!
+//! Runs the optimized engine (`elide_redundant_edges: true`, the default)
+//! and the unoptimized baseline (elision and epoch cache off) over the same
+//! traces, checks the outputs are byte-identical, and writes
+//! `BENCH_hotpath.json` (throughput, edges added vs. elided, epoch hits) so
+//! the speedup can be charted across PRs.
+//!
+//! Workloads:
+//!
+//! * `stress` — an open-transaction fan-in pattern: waves of concurrent
+//!   transactions where each reads every variable written earlier in the
+//!   wave, so most orderings arrive already implied through the chain.
+//!   This is the redundant-edge worst case the elision gate targets.
+//! * `multiset` — the paper's multiset model under round-robin (the
+//!   classic `stress` binary workload).
+//! * `adversarial` — the multiset model under the Atomizer-guided
+//!   adversarial scheduler (Section 5).
+//!
+//! Usage: `cargo run --release -p velodrome-bench --bin hotpath
+//! [--scale=8] [--waves=200] [--threads=8] [--rounds=4]`
+
+use serde::Serialize;
+use std::time::Instant;
+use velodrome::{Velodrome, VelodromeConfig};
+use velodrome_bench::hotpath::fanin_stress_trace;
+use velodrome_bench::{arg_u64, report};
+use velodrome_events::Trace;
+use velodrome_monitor::Tool;
+
+/// One engine run over a trace.
+#[derive(Debug, Serialize)]
+struct EngineRun {
+    events: u64,
+    millis: u64,
+    ops_per_sec: u64,
+    edges_added: u64,
+    edges_elided: u64,
+    epoch_hits: u64,
+    warnings: usize,
+    cycles_detected: u64,
+}
+
+/// Optimized vs. baseline over one workload.
+#[derive(Debug, Serialize)]
+struct WorkloadResult {
+    name: String,
+    optimized: EngineRun,
+    baseline: EngineRun,
+    /// `1 - optimized.edges_added / baseline.edges_added`, in percent.
+    edges_added_reduction_pct: f64,
+    /// Optimized and baseline warnings/reports are byte-identical.
+    outputs_identical: bool,
+}
+
+fn run_engine(trace: &Trace, elide: bool) -> (EngineRun, String) {
+    let cfg = VelodromeConfig {
+        elide_redundant_edges: elide,
+        names: trace.names().clone(),
+        ..VelodromeConfig::default()
+    };
+    let mut engine = Velodrome::with_config(cfg);
+    let start = Instant::now();
+    for (i, op) in trace.iter() {
+        engine.op(i, op);
+    }
+    let elapsed = start.elapsed();
+    let warnings = engine.take_warnings();
+    let stats = engine.stats();
+    let fingerprint = format!(
+        "{}|{}",
+        serde_json::to_string(&warnings).expect("warnings serialize"),
+        serde_json::to_string(engine.reports()).expect("reports serialize"),
+    );
+    let run = EngineRun {
+        events: trace.len() as u64,
+        millis: elapsed.as_millis() as u64,
+        ops_per_sec: (trace.len() as f64 / elapsed.as_secs_f64()) as u64,
+        edges_added: stats.edges_added,
+        edges_elided: stats.edges_elided,
+        epoch_hits: stats.epoch_hits,
+        warnings: warnings.len(),
+        cycles_detected: stats.cycles_detected,
+    };
+    (run, fingerprint)
+}
+
+fn measure(name: &str, trace: &Trace) -> WorkloadResult {
+    let (optimized, fp_opt) = run_engine(trace, true);
+    let (baseline, fp_base) = run_engine(trace, false);
+    let reduction = if baseline.edges_added > 0 {
+        100.0 * (1.0 - optimized.edges_added as f64 / baseline.edges_added as f64)
+    } else {
+        0.0
+    };
+    let identical = fp_opt == fp_base;
+    eprintln!(
+        "{name}: {} events, {} -> {} edges added ({reduction:.1}% fewer), \
+         {} elided, {} epoch hits, {:.1}x throughput, identical={identical}",
+        report::count(optimized.events),
+        baseline.edges_added,
+        optimized.edges_added,
+        optimized.edges_elided,
+        optimized.epoch_hits,
+        optimized.ops_per_sec as f64 / baseline.ops_per_sec.max(1) as f64,
+    );
+    WorkloadResult {
+        name: name.to_owned(),
+        optimized,
+        baseline,
+        edges_added_reduction_pct: reduction,
+        outputs_identical: identical,
+    }
+}
+
+fn main() {
+    let scale = arg_u64("scale", 16) as u32;
+    let waves = arg_u64("waves", 2_000);
+    let threads = arg_u64("threads", 8);
+    let rounds = arg_u64("rounds", 8);
+
+    eprintln!(
+        "generating traces (scale={scale}, waves={waves}, threads={threads}, rounds={rounds})..."
+    );
+    let stress = fanin_stress_trace(waves, threads, rounds);
+    let multiset = velodrome_workloads::build("multiset", scale).expect("workload");
+    let multiset_trace = multiset.run_round_robin();
+    let adversarial_trace = multiset.run_adversarial(1, 40);
+
+    let results = vec![
+        measure("stress", &stress),
+        measure("multiset", &multiset_trace),
+        measure("adversarial", &adversarial_trace),
+    ];
+
+    for r in &results {
+        assert!(
+            r.outputs_identical,
+            "{}: optimized and baseline outputs diverge",
+            r.name
+        );
+    }
+    let stress_result = &results[0];
+    assert!(
+        stress_result.edges_added_reduction_pct >= 30.0,
+        "stress workload must elide >= 30% of edge insertions, got {:.1}%",
+        stress_result.edges_added_reduction_pct
+    );
+    assert!(stress_result.optimized.edges_elided > 0);
+
+    let json = serde_json::to_string_pretty(&results).expect("results serialize");
+    std::fs::write("BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_hotpath.json");
+}

@@ -8,9 +8,7 @@ fn main() {
     let scale = arg_u64("scale", 2) as u32;
     let seeds = arg_u64("seeds", 10);
     let pause = arg_u64("pause", 400);
-    eprintln!(
-        "Injection study: scale={scale}, {seeds} seeds per mutant, pause={pause} steps"
-    );
+    eprintln!("Injection study: scale={scale}, {seeds} seeds per mutant, pause={pause} steps");
     let results = injection::run_injection(scale, seeds, pause);
     println!("{}", injection::render(&results));
     println!(

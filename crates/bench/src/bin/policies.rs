@@ -28,11 +28,18 @@ fn main() {
         Box::new(adversarial_scheduler_with(
             seed,
             pause,
-            AdvisorConfig { delay_rmw_writes: true, delay_racy_reads: true },
+            AdvisorConfig {
+                delay_rmw_writes: true,
+                delay_racy_reads: true,
+            },
         ))
     };
     let exempt: SchedulerFactory<'_> = &move |seed| {
-        Box::new(adversarial_scheduler_exempting(seed, pause, [ThreadId::new(1)]))
+        Box::new(adversarial_scheduler_exempting(
+            seed,
+            pause,
+            [ThreadId::new(1)],
+        ))
     };
 
     let policies: [(&str, SchedulerFactory<'_>); 4] = [
@@ -52,5 +59,8 @@ fn main() {
             format!("{:.0}%", 100.0 * hits as f64 / runs.max(1) as f64),
         ]);
     }
-    println!("{}", report::table(&["policy", "detections", "rate"], &rows));
+    println!(
+        "{}",
+        report::table(&["policy", "detections", "rate"], &rows)
+    );
 }

@@ -79,7 +79,8 @@ fn site_is_contended(program: &Program, site: usize) -> bool {
     // via a dedicated traversal.
     let vars = site_vars(program, site);
     let _ = mutant;
-    vars.iter().any(|v| threads.get(v).is_some_and(|t| t.len() > 1))
+    vars.iter()
+        .any(|v| threads.get(v).is_some_and(|t| t.len() > 1))
 }
 
 /// The variables accessed (at any depth) inside the `site`-th sync body.
@@ -194,8 +195,7 @@ fn velodrome_labels(trace: &Trace) -> HashSet<String> {
 }
 
 /// A scheduler factory: one fresh scheduler per seeded run.
-pub type SchedulerFactory<'a> =
-    &'a dyn Fn(u64) -> Box<dyn velodrome_sim::Scheduler>;
+pub type SchedulerFactory<'a> = &'a dyn Fn(u64) -> Box<dyn velodrome_sim::Scheduler>;
 
 /// The baseline label set: every method Velodrome reports on the
 /// *unmutated* program across all seeds under the given schedulers.
@@ -241,7 +241,10 @@ pub fn detection_rate(
             runs += 1;
             let result = run_program(&mutant, make(seed));
             if !result.deadlocked
-                && velodrome_labels(&result.trace).difference(baseline).next().is_some()
+                && velodrome_labels(&result.trace)
+                    .difference(baseline)
+                    .next()
+                    .is_some()
             {
                 hits += 1;
             }
@@ -255,10 +258,8 @@ pub fn detection_rate(
 /// under adversarial scheduling. A run *detects* the defect when Velodrome
 /// reports a method that no baseline (unmutated) run ever reported.
 pub fn measure(workload: &Workload, seeds: u64, pause_steps: u64) -> InjectionResult {
-    let plain: SchedulerFactory<'_> =
-        &|seed| Box::new(velodrome_sim::RandomScheduler::new(seed));
-    let adv: SchedulerFactory<'_> =
-        &move |seed| Box::new(adversarial_scheduler(seed, pause_steps));
+    let plain: SchedulerFactory<'_> = &|seed| Box::new(velodrome_sim::RandomScheduler::new(seed));
+    let adv: SchedulerFactory<'_> = &move |seed| Box::new(adversarial_scheduler(seed, pause_steps));
     let baseline = baseline_labels(workload, seeds, &[plain, adv]);
     let (plain_hits, runs) = detection_rate(workload, seeds, &baseline, plain);
     let (adversarial_hits, _) = detection_rate(workload, seeds, &baseline, adv);
@@ -284,7 +285,13 @@ pub fn run_injection(scale: u32, seeds: u64, pause_steps: u64) -> Vec<InjectionR
 
 /// Renders the study results.
 pub fn render(results: &[InjectionResult]) -> String {
-    let header = ["program", "contended sites", "runs", "plain rate", "adversarial rate"];
+    let header = [
+        "program",
+        "contended sites",
+        "runs",
+        "plain rate",
+        "adversarial rate",
+    ];
     let body: Vec<Vec<String>> = results
         .iter()
         .map(|r| {
@@ -308,8 +315,9 @@ mod tests {
     fn contention_analysis_finds_shared_sites() {
         let w = velodrome_workloads::build("multiset", 1).unwrap();
         let total = mutate::sync_sites(&w.program);
-        let contended =
-            (0..total).filter(|&s| site_is_contended(&w.program, s)).count();
+        let contended = (0..total)
+            .filter(|&s| site_is_contended(&w.program, s))
+            .count();
         assert!(contended > 0);
         assert!(contended <= total);
     }
@@ -320,7 +328,10 @@ mod tests {
         let mut b = ProgramBuilder::new();
         let x = b.var("x");
         let m = b.lock("m");
-        b.worker(vec![Stmt::Sync(m, vec![Stmt::Loop(2, vec![Stmt::Write(x)])])]);
+        b.worker(vec![Stmt::Sync(
+            m,
+            vec![Stmt::Loop(2, vec![Stmt::Write(x)])],
+        )]);
         let p = b.finish();
         let vars = site_vars(&p, 0);
         assert!(vars.contains(&x.raw()));
@@ -337,7 +348,10 @@ mod tests {
                 assert!(!w.is_non_atomic(&name), "{name} is already non-atomic");
             }
         }
-        assert!((0..total).any(|s| site_is_eligible(&w, s)), "some sites eligible");
+        assert!(
+            (0..total).any(|s| site_is_eligible(&w, s)),
+            "some sites eligible"
+        );
     }
 
     #[test]

@@ -12,9 +12,12 @@
 //!
 //! Binaries `table1`, `table2`, `injection`, and `graph_stats` print the
 //! paper-style tables; `cargo bench -p velodrome-bench` runs the Criterion
-//! timing harness behind Table 1's performance columns.
+//! timing harness behind Table 1's performance columns. The `hotpath`
+//! binary (module [`hotpath`]) measures the redundant-edge elision and
+//! epoch-cache fast paths and emits `BENCH_hotpath.json`.
 
 pub mod backend;
+pub mod hotpath;
 pub mod injection;
 pub mod report;
 pub mod table1;

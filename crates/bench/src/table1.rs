@@ -100,14 +100,25 @@ pub fn measure(workload: &Workload, repeats: u32) -> Table1Row {
 
 /// Runs Table 1 for every workload at the given scale.
 pub fn run_table1(scale: u32, repeats: u32) -> Vec<Table1Row> {
-    velodrome_workloads::all(scale).iter().map(|w| measure(w, repeats)).collect()
+    velodrome_workloads::all(scale)
+        .iter()
+        .map(|w| measure(w, repeats))
+        .collect()
 }
 
 /// Renders rows in the paper's layout.
 pub fn render(rows: &[Table1Row]) -> String {
     let header = [
-        "program", "events", "empty ns/op", "eraser", "atomizer", "velodrome",
-        "alloc w/o merge", "alive", "alloc w/ merge", "alive",
+        "program",
+        "events",
+        "empty ns/op",
+        "eraser",
+        "atomizer",
+        "velodrome",
+        "alloc w/o merge",
+        "alive",
+        "alloc w/ merge",
+        "alive",
     ];
     let body: Vec<Vec<String>> = rows
         .iter()

@@ -57,10 +57,14 @@ pub fn measure(workload: &Workload, runs: u64) -> Table2Row {
         }
     }
     let real = |s: &HashSet<String>| s.iter().filter(|l| workload.is_non_atomic(l)).count();
-    let atomizer_real_set: HashSet<&String> =
-        atomizer_labels.iter().filter(|l| workload.is_non_atomic(l)).collect();
-    let missed =
-        atomizer_real_set.iter().filter(|l| !velodrome_labels.contains(**l)).count();
+    let atomizer_real_set: HashSet<&String> = atomizer_labels
+        .iter()
+        .filter(|l| workload.is_non_atomic(l))
+        .collect();
+    let missed = atomizer_real_set
+        .iter()
+        .filter(|l| !velodrome_labels.contains(**l))
+        .count();
     Table2Row {
         name: workload.name.to_string(),
         atomizer_real: real(&atomizer_labels),
@@ -77,7 +81,10 @@ pub fn measure(workload: &Workload, runs: u64) -> Table2Row {
 
 /// Runs Table 2 for every workload.
 pub fn run_table2(scale: u32, runs: u64) -> Vec<Table2Row> {
-    velodrome_workloads::all(scale).iter().map(|w| measure(w, runs)).collect()
+    velodrome_workloads::all(scale)
+        .iter()
+        .map(|w| measure(w, runs))
+        .collect()
 }
 
 /// Renders rows with measured and paper columns side by side.
@@ -119,9 +126,18 @@ pub fn render(rows: &[Table2Row]) -> String {
         totals(|r| r.velodrome_real),
         totals(|r| r.velodrome_false),
         totals(|r| r.missed),
-        rows.iter().map(|r| r.paper_atomizer_real).sum::<u32>().to_string(),
-        rows.iter().map(|r| r.paper_atomizer_false).sum::<u32>().to_string(),
-        rows.iter().map(|r| r.paper_velodrome).sum::<u32>().to_string(),
+        rows.iter()
+            .map(|r| r.paper_atomizer_real)
+            .sum::<u32>()
+            .to_string(),
+        rows.iter()
+            .map(|r| r.paper_atomizer_false)
+            .sum::<u32>()
+            .to_string(),
+        rows.iter()
+            .map(|r| r.paper_velodrome)
+            .sum::<u32>()
+            .to_string(),
         rows.iter().map(|r| r.paper_missed).sum::<u32>().to_string(),
     ]);
     report::table(&header, &body)
@@ -135,7 +151,11 @@ mod tests {
     fn velodrome_has_zero_false_alarms_everywhere() {
         for w in velodrome_workloads::all(1) {
             let row = measure(&w, 3);
-            assert_eq!(row.velodrome_false, 0, "{}: velodrome must be complete", w.name);
+            assert_eq!(
+                row.velodrome_false, 0,
+                "{}: velodrome must be complete",
+                w.name
+            );
         }
     }
 
@@ -143,7 +163,10 @@ mod tests {
     fn atomizer_false_alarms_on_fork_join_benchmarks() {
         let w = velodrome_workloads::build("jbb", 1).unwrap();
         let row = measure(&w, 2);
-        assert!(row.atomizer_false > 10, "jbb is the paper's big false-alarm source");
+        assert!(
+            row.atomizer_false > 10,
+            "jbb is the paper's big false-alarm source"
+        );
         assert_eq!(row.velodrome_false, 0);
     }
 

@@ -58,7 +58,12 @@ struct Options {
 }
 
 fn parse(args: &[String]) -> Result<Options, CliError> {
-    let mut o = Options { scale: 1, seed: 0, backend: "velodrome".into(), ..Default::default() };
+    let mut o = Options {
+        scale: 1,
+        seed: 0,
+        backend: "velodrome".into(),
+        ..Default::default()
+    };
     for a in args {
         if let Some(v) = a.strip_prefix("--scale=") {
             o.scale = v.parse().map_err(|_| err(format!("bad --scale: {v}")))?;
@@ -227,9 +232,19 @@ fn compare(opts: &Options) -> Result<String, CliError> {
         load_trace(opts)?
     };
     let mut out = format!("{} events; warnings per tool:\n", trace.len());
-    for backend in ["velodrome", "atomizer", "s2pl", "eraser", "hb-race", "fasttrack"] {
+    for backend in [
+        "velodrome",
+        "atomizer",
+        "s2pl",
+        "eraser",
+        "hb-race",
+        "fasttrack",
+    ] {
         let start = std::time::Instant::now();
-        let mut o = Options { backend: backend.into(), ..Default::default() };
+        let mut o = Options {
+            backend: backend.into(),
+            ..Default::default()
+        };
         o.no_merge = opts.no_merge;
         o.no_gc = opts.no_gc;
         let warnings = analyze(&trace, &o)?;
@@ -247,7 +262,10 @@ fn compare(opts: &Options) -> Result<String, CliError> {
 fn render_warnings(trace: &Trace, warnings: &[Warning], dot: bool) -> String {
     let mut out = String::new();
     if warnings.is_empty() {
-        let _ = writeln!(out, "no warnings: every observed transaction is serializable");
+        let _ = writeln!(
+            out,
+            "no warnings: every observed transaction is serializable"
+        );
     }
     for w in warnings {
         let _ = writeln!(out, "{w}");
@@ -275,15 +293,17 @@ fn check(opts: &Options) -> Result<String, CliError> {
 
 fn record(opts: &Options) -> Result<String, CliError> {
     let trace = produce_trace(opts)?;
-    let path = opts.out.as_deref().ok_or_else(|| err("record requires --out=FILE"))?;
+    let path = opts
+        .out
+        .as_deref()
+        .ok_or_else(|| err("record requires --out=FILE"))?;
     std::fs::write(path, trace.to_json()).map_err(|e| err(format!("writing {path}: {e}")))?;
     Ok(format!("recorded {} events to {path}\n", trace.len()))
 }
 
 fn load_trace(opts: &Options) -> Result<Trace, CliError> {
     let path = opts.positional.first().ok_or_else(|| err(USAGE))?;
-    let json =
-        std::fs::read_to_string(path).map_err(|e| err(format!("reading {path}: {e}")))?;
+    let json = std::fs::read_to_string(path).map_err(|e| err(format!("reading {path}: {e}")))?;
     Trace::from_json(&json).map_err(|e| err(format!("parsing {path}: {e}")))
 }
 
@@ -371,7 +391,13 @@ mod tests {
         let path = dir.join("rec.json");
         let path_str = path.to_str().unwrap();
         // Find a seed whose run shows the violation, record it, replay it.
-        let rec = run(&["record", "multiset", "--seed=1", &format!("--out={path_str}")]).unwrap();
+        let rec = run(&[
+            "record",
+            "multiset",
+            "--seed=1",
+            &format!("--out={path_str}"),
+        ])
+        .unwrap();
         assert!(rec.contains("recorded"));
         let out = run(&["replay", "multiset", path_str]).unwrap();
         assert!(out.contains("replayed"), "{out}");
@@ -416,7 +442,14 @@ mod tests {
     #[test]
     fn compare_lists_all_tools() {
         let out = run(&["compare", "jbb"]).unwrap();
-        for tool in ["velodrome", "atomizer", "s2pl", "eraser", "hb-race", "fasttrack"] {
+        for tool in [
+            "velodrome",
+            "atomizer",
+            "s2pl",
+            "eraser",
+            "hb-race",
+            "fasttrack",
+        ] {
             assert!(out.contains(tool), "missing {tool}: {out}");
         }
     }

@@ -41,10 +41,25 @@ pub struct VelodromeConfig {
     /// reproduces the "no GC" ablation; large traces will exhaust the
     /// 16-bit node arena.
     pub gc: bool,
+    /// Skip happens-before edges whose ordering is already implied
+    /// (default `true`): transitively-redundant edges are elided in the
+    /// arena, and a per-thread epoch cache short-circuits repeated no-op
+    /// predecessors within a transaction. Disabling this reproduces the
+    /// unoptimized insertion behavior — same warnings, reports, and cycle
+    /// counts, but every redundant edge pays full insertion cost (the
+    /// differential-testing baseline).
+    pub elide_redundant_edges: bool,
     /// Report at most one warning per atomic-block label (default `true`),
     /// matching how the paper counts non-atomic *methods*.
+    ///
+    /// Interaction with [`max_warnings`](Self::max_warnings): a duplicate
+    /// label never consumes warning budget, and a report suppressed because
+    /// the budget is full does **not** mark its label as seen — the budget
+    /// check runs first, so once warnings are drained the label can still
+    /// produce its one warning.
     pub dedup_per_label: bool,
-    /// Hard cap on stored warnings; `0` means unlimited.
+    /// Hard cap on *stored* (undrained) warnings; `0` means unlimited.
+    /// Suppressed reports are still recorded in [`Velodrome::reports`].
     pub max_warnings: usize,
     /// Symbol table used to render warnings and error graphs.
     pub names: SymbolTable,
@@ -55,6 +70,7 @@ impl Default for VelodromeConfig {
         Self {
             merge: true,
             gc: true,
+            elide_redundant_edges: true,
             dedup_per_label: true,
             max_warnings: 10_000,
             names: SymbolTable::new(),
@@ -75,6 +91,11 @@ pub struct VelodromeStats {
     pub collected: u64,
     /// Happens-before edges inserted.
     pub edges_added: u64,
+    /// Edges skipped by the arena's redundant-edge elision gate.
+    pub edges_elided: u64,
+    /// Edge insertions short-circuited by the per-thread epoch cache
+    /// (repeated no-op predecessor within one transaction).
+    pub epoch_hits: u64,
     /// Non-transactional operations that merged into an existing node.
     pub merges_reused: u64,
     /// Non-transactional operations that vanished (all predecessors `⊥`).
@@ -88,12 +109,15 @@ impl std::fmt::Display for VelodromeStats {
         write!(
             f,
             "{} ops, {} nodes allocated ({} max alive, {} collected), \
-             {} edges, {} merges reused, {} vanished, {} cycles",
+             {} edges ({} elided, {} epoch hits), {} merges reused, \
+             {} vanished, {} cycles",
             self.ops,
             self.nodes_allocated,
             self.max_alive,
             self.collected,
             self.edges_added,
+            self.edges_elided,
+            self.epoch_hits,
             self.merges_reused,
             self.merges_bottom,
             self.cycles_detected
@@ -117,6 +141,16 @@ struct ThreadState {
     node: SlotIdx,
     /// Open atomic blocks, outermost first.
     stack: Vec<Block>,
+    /// Epoch cache: the last predecessor step whose edge into the current
+    /// transaction was a no-op (`⊥`/stale source, self-edge, or elided as
+    /// transitively implied). Repeats of the same predecessor within the
+    /// same transaction — e.g. a read loop whose `W(x)` never changes — are
+    /// skipped without touching the arena: all four no-op conditions are
+    /// stable while the transaction node is fixed (timestamps are never
+    /// reissued per slot, ancestor sets only shrink when the ancestor
+    /// itself dies and turns the step stale). Cleared on transaction entry,
+    /// when the node changes.
+    skip: Option<Step>,
 }
 
 /// The sound and complete dynamic serializability analysis.
@@ -158,7 +192,7 @@ impl Velodrome {
 
     /// Creates an engine with an explicit configuration.
     pub fn with_config(cfg: VelodromeConfig) -> Self {
-        let arena = Arena::with_gc(cfg.gc);
+        let arena = Arena::with_options(cfg.gc, cfg.elide_redundant_edges);
         Self {
             cfg,
             arena,
@@ -181,6 +215,7 @@ impl Velodrome {
             max_alive: a.max_alive,
             collected: a.collected,
             edges_added: a.edges_added,
+            edges_elided: a.edges_elided,
             ..self.stats
         }
     }
@@ -221,9 +256,22 @@ impl Velodrome {
         if self.in_txn(t) {
             let node = self.thread_mut(t).node;
             let s = self.arena.bump(node);
+            let elide = self.cfg.elide_redundant_edges;
             for &p in preds {
-                if let Err(c) = self.arena.add_edge(p, s, op, idx) {
-                    self.report_cycle(c, t, op, idx);
+                // Epoch fast path: a predecessor that was a no-op for this
+                // transaction stays one (see `ThreadState::skip`).
+                if elide && self.threads[t.index()].skip == Some(p) {
+                    self.stats.epoch_hits += 1;
+                    continue;
+                }
+                match self.arena.add_edge(p, s, op, idx) {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        if elide {
+                            self.threads[t.index()].skip = Some(p);
+                        }
+                    }
+                    Err(c) => self.report_cycle(c, t, op, idx),
                 }
             }
             self.thread_mut(t).l = s;
@@ -250,7 +298,11 @@ impl Velodrome {
         let s = if !self.cfg.merge {
             // Figure 2 [INS OUTSIDE]: wrap the operation in a fresh unary
             // transaction.
-            let desc = NodeDesc { thread: t, label: None, first_op: idx };
+            let desc = NodeDesc {
+                thread: t,
+                label: None,
+                first_op: idx,
+            };
             let s = self.arena.alloc(desc, true);
             for &a in &args {
                 // The target node is fresh, so no cycle is possible.
@@ -281,7 +333,11 @@ impl Velodrome {
             // Two or more incomparable predecessors: allocate a merge node
             // with edges from each (merge case 3). The node is fresh, so no
             // cycle is possible.
-            let desc = NodeDesc { thread: t, label: None, first_op: idx };
+            let desc = NodeDesc {
+                thread: t,
+                label: None,
+                first_op: idx,
+            };
             let s = self.arena.alloc(desc, false);
             for &a in &args {
                 let _ = self.arena.add_edge(a, s, op, idx);
@@ -300,12 +356,20 @@ impl Velodrome {
             let ts = s.ts().expect("bumped step");
             let st = self.thread_mut(t);
             st.l = s;
-            st.stack.push(Block { label: l, start_ts: ts, begin_op: idx });
+            st.stack.push(Block {
+                label: l,
+                start_ts: ts,
+                begin_op: idx,
+            });
         } else {
             // [INS2 ENTER]: allocate a fresh transaction node, ordered after
             // the thread's previous transaction.
             let prev = self.thread_mut(t).l;
-            let desc = NodeDesc { thread: t, label: Some(l), first_op: idx };
+            let desc = NodeDesc {
+                thread: t,
+                label: Some(l),
+                first_op: idx,
+            };
             let s = self.arena.alloc(desc, true);
             let op = Op::Begin { t, l };
             let _ = self.arena.add_edge(prev, s, op, idx);
@@ -313,7 +377,14 @@ impl Velodrome {
             let st = self.thread_mut(t);
             st.l = s;
             st.node = slot;
-            st.stack = vec![Block { label: l, start_ts: ts, begin_op: idx }];
+            // The cache is only valid for one fixed transaction node: the
+            // previous node's slot may since have been recycled.
+            st.skip = None;
+            st.stack = vec![Block {
+                label: l,
+                start_ts: ts,
+                begin_op: idx,
+            }];
         }
     }
 
@@ -407,13 +478,17 @@ impl Velodrome {
             });
             nodes.push(self.arena.desc(*slot).into());
         }
-        edges.push(ReportEdge { op, op_index: idx, from_ts: c.from_ts, to_ts: c.to_ts });
+        edges.push(ReportEdge {
+            op,
+            op_index: idx,
+            from_ts: c.from_ts,
+            to_ts: c.to_ts,
+        });
 
         // Increasing-cycle check (Section 4.3): for every node other than
         // the current transaction, the incoming timestamp must not exceed
         // the outgoing timestamp.
-        let increasing =
-            (1..nodes.len()).all(|i| edges[i - 1].to_ts <= edges[i].from_ts);
+        let increasing = (1..nodes.len()).all(|i| edges[i - 1].to_ts <= edges[i].from_ts);
 
         // Blame: the cycle leaves the current transaction at the root
         // timestamp; every enclosing atomic block whose begin precedes the
@@ -421,7 +496,11 @@ impl Velodrome {
         let root_ts = edges[0].from_ts;
         let stack = &self.threads[t.index()].stack;
         let refuted: Vec<Label> = if increasing {
-            stack.iter().filter(|b| b.start_ts <= root_ts).map(|b| b.label).collect()
+            stack
+                .iter()
+                .filter(|b| b.start_ts <= root_ts)
+                .map(|b| b.label)
+                .collect()
         } else {
             Vec::new()
         };
@@ -437,11 +516,16 @@ impl Velodrome {
         };
 
         let attribution = report.blamed_label().or(outermost);
-        if self.cfg.dedup_per_label && !self.dedup.first_report(attribution) {
+        // Budget first, dedup second: the budget check consumes nothing, so
+        // a label whose first report arrives while the budget is exhausted
+        // is not marked as seen and can still warn once warnings drain.
+        // Conversely a duplicate label returns here without ever counting
+        // against the budget.
+        if self.cfg.max_warnings > 0 && self.warnings.len() >= self.cfg.max_warnings {
             self.reports.push(report);
             return;
         }
-        if self.cfg.max_warnings > 0 && self.warnings.len() >= self.cfg.max_warnings {
+        if self.cfg.dedup_per_label && !self.dedup.first_report(attribution) {
             self.reports.push(report);
             return;
         }
@@ -486,7 +570,10 @@ impl Tool for Velodrome {
 /// Runs Velodrome over a recorded trace with default configuration (names
 /// taken from the trace) and returns the warnings.
 pub fn check_trace(trace: &Trace) -> Vec<Warning> {
-    let cfg = VelodromeConfig { names: trace.names().clone(), ..VelodromeConfig::default() };
+    let cfg = VelodromeConfig {
+        names: trace.names().clone(),
+        ..VelodromeConfig::default()
+    };
     let mut v = Velodrome::with_config(cfg);
     velodrome_monitor::run_tool(&mut v, trace)
 }

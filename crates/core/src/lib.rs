@@ -49,6 +49,7 @@
 pub mod arena;
 pub mod engine;
 pub mod report;
+mod smallgraph;
 pub mod step;
 
 pub use arena::{Arena, ArenaStats, CycleFound, EdgeInfo, NodeDesc};

@@ -26,7 +26,11 @@ pub struct ReportNode {
 
 impl From<&NodeDesc> for ReportNode {
     fn from(d: &NodeDesc) -> Self {
-        ReportNode { thread: d.thread, label: d.label, first_op: d.first_op }
+        ReportNode {
+            thread: d.thread,
+            label: d.label,
+            first_op: d.first_op,
+        }
     }
 }
 
@@ -94,7 +98,11 @@ impl CycleReport {
                 format!("{}:{}", names.thread(n.thread), label)
             })
             .collect();
-        let blame = if self.blamed.is_some() { "blamed" } else { "no single transaction blamed" };
+        let blame = if self.blamed.is_some() {
+            "blamed"
+        } else {
+            "no single transaction blamed"
+        };
         format!(
             "{method} is not atomic: cycle [{}] at op {} ({blame})",
             cycle.join(" -> "),
@@ -108,13 +116,19 @@ impl CycleReport {
     pub fn to_text(&self, names: &SymbolTable) -> String {
         let mut out = String::new();
         let show = |n: &ReportNode| {
-            let label =
-                n.label.map(|l| names.label(l)).unwrap_or_else(|| "<unary>".to_owned());
+            let label = n
+                .label
+                .map(|l| names.label(l))
+                .unwrap_or_else(|| "<unary>".to_owned());
             format!("{}:{}", names.thread(n.thread), label)
         };
         let count = self.nodes.len();
         for (i, e) in self.edges.iter().enumerate() {
-            let closing = if i + 1 == self.edges.len() { "  (closes cycle)" } else { "" };
+            let closing = if i + 1 == self.edges.len() {
+                "  (closes cycle)"
+            } else {
+                ""
+            };
             out.push_str(&format!(
                 "  {} --{}--> {}{closing}\n",
                 show(&self.nodes[i]),
@@ -124,8 +138,7 @@ impl CycleReport {
         }
         match self.blamed {
             Some(i) => {
-                let refuted: Vec<String> =
-                    self.refuted.iter().map(|&l| names.label(l)).collect();
+                let refuted: Vec<String> = self.refuted.iter().map(|&l| names.label(l)).collect();
                 out.push_str(&format!(
                     "  blame: {} (refuted blocks: {})\n",
                     show(&self.nodes[i]),
@@ -157,7 +170,11 @@ impl CycleReport {
         }
         let n = self.nodes.len();
         for (i, e) in self.edges.iter().enumerate() {
-            let style = if i + 1 == self.edges.len() { ", style=dashed" } else { "" };
+            let style = if i + 1 == self.edges.len() {
+                ", style=dashed"
+            } else {
+                ""
+            };
             out.push_str(&format!(
                 "  t{} -> t{} [label=\"{}\"{style}];\n",
                 i,
@@ -191,18 +208,32 @@ mod tests {
     fn sample() -> CycleReport {
         CycleReport {
             nodes: vec![
-                ReportNode { thread: ThreadId::new(0), label: Some(Label::new(0)), first_op: 0 },
-                ReportNode { thread: ThreadId::new(1), label: None, first_op: 2 },
+                ReportNode {
+                    thread: ThreadId::new(0),
+                    label: Some(Label::new(0)),
+                    first_op: 0,
+                },
+                ReportNode {
+                    thread: ThreadId::new(1),
+                    label: None,
+                    first_op: 2,
+                },
             ],
             edges: vec![
                 ReportEdge {
-                    op: Op::Write { t: ThreadId::new(1), x: VarId::new(0) },
+                    op: Op::Write {
+                        t: ThreadId::new(1),
+                        x: VarId::new(0),
+                    },
                     op_index: 2,
                     from_ts: 1,
                     to_ts: 1,
                 },
                 ReportEdge {
-                    op: Op::Write { t: ThreadId::new(0), x: VarId::new(0) },
+                    op: Op::Write {
+                        t: ThreadId::new(0),
+                        x: VarId::new(0),
+                    },
                     op_index: 3,
                     from_ts: 1,
                     to_ts: 2,

@@ -32,11 +32,16 @@ fn only_spec_selects_single_method() {
 #[test]
 fn recursive_atomic_blocks() {
     let mut b = TraceBuilder::new();
-    b.begin("T1", "recurse").begin("T1", "recurse").read("T1", "x");
+    b.begin("T1", "recurse")
+        .begin("T1", "recurse")
+        .read("T1", "x");
     b.write("T2", "x");
     b.write("T1", "x").end("T1").end("T1");
     let trace = b.finish();
-    let cfg = VelodromeConfig { names: trace.names().clone(), ..VelodromeConfig::default() };
+    let cfg = VelodromeConfig {
+        names: trace.names().clone(),
+        ..VelodromeConfig::default()
+    };
     let (warnings, engine) = check_trace_with(&trace, cfg);
     assert_eq!(warnings.len(), 1);
     let report = &engine.reports()[0];
@@ -58,7 +63,11 @@ fn shared_labels_across_threads_dedup_as_one_method() {
     let trace = b.finish();
     let (warnings, engine) = check_trace_with(&trace, VelodromeConfig::default());
     assert_eq!(warnings.len(), 1, "one method, one warning");
-    assert_eq!(engine.stats().cycles_detected, 2, "both dynamic violations detected");
+    assert_eq!(
+        engine.stats().cycles_detected,
+        2,
+        "both dynamic violations detected"
+    );
 }
 
 /// Zero-length transactions (`begin` immediately followed by `end`) are
@@ -68,7 +77,10 @@ fn empty_transactions_are_harmless() {
     let mut b = TraceBuilder::new();
     for _ in 0..100 {
         b.begin("T1", "noop").end("T1");
-        b.begin("T2", "noop").begin("T2", "inner").end("T2").end("T2");
+        b.begin("T2", "noop")
+            .begin("T2", "inner")
+            .end("T2")
+            .end("T2");
     }
     let trace = b.finish();
     let (warnings, engine) = check_trace_with(&trace, VelodromeConfig::default());
@@ -89,5 +101,8 @@ fn unblamed_warnings_still_carry_a_label() {
     let (warnings, engine) = check_trace_with(&trace, VelodromeConfig::default());
     assert_eq!(warnings.len(), 1);
     assert!(engine.reports()[0].blamed.is_none());
-    assert!(warnings[0].label.is_some(), "attribution survives missing blame");
+    assert!(
+        warnings[0].label.is_some(),
+        "attribution survives missing blame"
+    );
 }

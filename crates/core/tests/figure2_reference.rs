@@ -199,7 +199,10 @@ fn figure2_transcription_matches_engine_and_oracle() {
             nonserializable += 1;
         }
     }
-    assert!(nonserializable >= 10, "want both verdict classes, saw {nonserializable}");
+    assert!(
+        nonserializable >= 10,
+        "want both verdict classes, saw {nonserializable}"
+    );
 }
 
 #[test]
@@ -220,8 +223,14 @@ fn figure2_matches_on_paper_examples() {
             {
                 let mut b = TraceBuilder::new();
                 b.begin("T1", "A").acquire("T1", "m").release("T1", "m");
-                b.begin("T2", "B").acquire("T2", "m").write("T2", "y").end("T2");
-                b.begin("T3", "C").read("T3", "y").write("T3", "x").end("T3");
+                b.begin("T2", "B")
+                    .acquire("T2", "m")
+                    .write("T2", "y")
+                    .end("T2");
+                b.begin("T3", "C")
+                    .read("T3", "y")
+                    .write("T3", "x")
+                    .end("T3");
                 b.read("T1", "x").end("T1");
                 b.finish()
             },
@@ -248,7 +257,12 @@ fn figure2_matches_on_paper_examples() {
 
 #[test]
 fn figure2_matches_under_round_robin_workload_shapes() {
-    let cfg = GenConfig { threads: 2, vars: 2, locks: 1, ..GenConfig::default() };
+    let cfg = GenConfig {
+        threads: 2,
+        vars: 2,
+        locks: 1,
+        ..GenConfig::default()
+    };
     for seed in 0..80u64 {
         let program = random_program(&cfg, seed);
         let result = run_program(&program, RoundRobin::new());

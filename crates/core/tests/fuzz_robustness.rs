@@ -20,8 +20,7 @@ fn arb_op() -> impl Strategy<Value = Op> {
         (t.clone(), m).prop_map(|(t, m)| Op::Release { t, m }),
         (t.clone(), l).prop_map(|(t, l)| Op::Begin { t, l }),
         t.clone().prop_map(|t| Op::End { t }),
-        (t.clone(), (0u32..5).prop_map(ThreadId::new))
-            .prop_map(|(t, child)| Op::Fork { t, child }),
+        (t.clone(), (0u32..5).prop_map(ThreadId::new)).prop_map(|(t, child)| Op::Fork { t, child }),
         (t, (0u32..5).prop_map(ThreadId::new)).prop_map(|(t, child)| Op::Join { t, child }),
     ]
 }

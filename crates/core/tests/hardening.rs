@@ -15,7 +15,10 @@ fn slot_recycling_under_sustained_load() {
         let t = format!("T{}", i % 3);
         // Rotating variables so predecessors constantly go stale.
         let x = format!("v{}", i % 7);
-        b.begin(&t, "work").acquire(&t, "m").read(&t, &x).write(&t, &x);
+        b.begin(&t, "work")
+            .acquire(&t, "m")
+            .read(&t, &x)
+            .write(&t, &x);
         b.release(&t, "m").end(&t);
     }
     let trace = b.finish();
@@ -48,7 +51,11 @@ fn gc_ablation_preserves_verdicts() {
                 let mut b = TraceBuilder::new();
                 for i in 0..200 {
                     let t = if i % 2 == 0 { "T1" } else { "T2" };
-                    b.begin(t, "ok").acquire(t, "m").write(t, "x").release(t, "m").end(t);
+                    b.begin(t, "ok")
+                        .acquire(t, "m")
+                        .write(t, "x")
+                        .release(t, "m")
+                        .end(t);
                 }
                 b.finish()
             },
@@ -57,7 +64,10 @@ fn gc_ablation_preserves_verdicts() {
     ];
     for (trace, serializable) in cases {
         for gc in [true, false] {
-            let cfg = VelodromeConfig { gc, ..VelodromeConfig::default() };
+            let cfg = VelodromeConfig {
+                gc,
+                ..VelodromeConfig::default()
+            };
             let (warnings, engine) = check_trace_with(&trace, cfg);
             assert_eq!(warnings.is_empty(), serializable, "gc={gc}");
             if !gc {
@@ -114,14 +124,23 @@ fn deep_nesting_refutation_prefix() {
         b.end("T1");
     }
     let trace = b.finish();
-    let cfg = VelodromeConfig { names: trace.names().clone(), ..VelodromeConfig::default() };
+    let cfg = VelodromeConfig {
+        names: trace.names().clone(),
+        ..VelodromeConfig::default()
+    };
     let (warnings, engine) = check_trace_with(&trace, cfg);
     assert_eq!(warnings.len(), 1);
     let report = &engine.reports()[0];
-    let refuted: Vec<String> =
-        report.refuted.iter().map(|&l| trace.names().label(l)).collect();
+    let refuted: Vec<String> = report
+        .refuted
+        .iter()
+        .map(|&l| trace.names().label(l))
+        .collect();
     let expected: Vec<String> = (0..depth).map(|i| format!("level_{i}")).collect();
-    assert_eq!(refuted, expected, "only blocks enclosing the root are refuted");
+    assert_eq!(
+        refuted, expected,
+        "only blocks enclosing the root are refuted"
+    );
 }
 
 /// Dozens of threads with mixed disciplines: verdict matches the oracle.
@@ -175,12 +194,17 @@ fn pure_unary_trace_extremes() {
         b.write(&t, &format!("own_{}", i % 4));
     }
     let trace = b.finish();
-    let merged = check_trace_with(&trace, VelodromeConfig::default()).1.stats();
+    let merged = check_trace_with(&trace, VelodromeConfig::default())
+        .1
+        .stats();
     assert_eq!(merged.nodes_allocated, 0, "fully-⊥ unary ops vanish");
     assert_eq!(merged.merges_bottom, 5_000);
     let basic = check_trace_with(
         &trace,
-        VelodromeConfig { merge: false, ..VelodromeConfig::default() },
+        VelodromeConfig {
+            merge: false,
+            ..VelodromeConfig::default()
+        },
     )
     .1
     .stats();

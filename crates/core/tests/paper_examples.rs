@@ -5,7 +5,10 @@ use velodrome_events::{oracle, Trace, TraceBuilder};
 use velodrome_monitor::{run_tool, Tool};
 
 fn check_all(trace: &Trace) -> (Vec<velodrome_monitor::Warning>, Velodrome) {
-    let cfg = VelodromeConfig { names: trace.names().clone(), ..VelodromeConfig::default() };
+    let cfg = VelodromeConfig {
+        names: trace.names().clone(),
+        ..VelodromeConfig::default()
+    };
     check_trace_with(trace, cfg)
 }
 
@@ -15,11 +18,20 @@ fn check_all(trace: &Trace) -> (Vec<velodrome_monitor::Warning>, Velodrome) {
 fn intro_cycle_blames_transaction_a() {
     let mut b = TraceBuilder::new();
     b.begin("T1", "A").acquire("T1", "m").release("T1", "m");
-    b.begin("T2", "B").acquire("T2", "m").write("T2", "y").end("T2");
-    b.begin("T3", "C").read("T3", "y").write("T3", "x").end("T3");
+    b.begin("T2", "B")
+        .acquire("T2", "m")
+        .write("T2", "y")
+        .end("T2");
+    b.begin("T3", "C")
+        .read("T3", "y")
+        .write("T3", "x")
+        .end("T3");
     b.read("T1", "x").end("T1");
     let trace = b.finish();
-    assert!(!oracle::is_serializable(&trace), "oracle agrees the trace is bad");
+    assert!(
+        !oracle::is_serializable(&trace),
+        "oracle agrees the trace is bad"
+    );
 
     let (warnings, engine) = check_all(&trace);
     assert_eq!(warnings.len(), 1, "exactly one violation: {warnings:?}");
@@ -29,7 +41,11 @@ fn intro_cycle_blames_transaction_a() {
     assert_eq!(report.blamed, Some(0));
     let names = trace.names();
     assert_eq!(names.label(report.blamed_label().unwrap()), "A");
-    assert!(warnings[0].message.contains("A is not atomic"), "{}", warnings[0].message);
+    assert!(
+        warnings[0].message.contains("A is not atomic"),
+        "{}",
+        warnings[0].message
+    );
 }
 
 /// The Section 1 `Set.add` example: race-free but not atomic.
@@ -39,23 +55,41 @@ fn set_add_is_race_free_but_not_atomic() {
     // Two threads run Set.add concurrently; every elems access holds the
     // vector's monitor, but the check-then-act spans two critical sections.
     b.begin("T1", "Set.add");
-    b.acquire("T1", "this").read("T1", "elems").release("T1", "this"); // contains
+    b.acquire("T1", "this")
+        .read("T1", "elems")
+        .release("T1", "this"); // contains
     b.begin("T2", "Set.add");
-    b.acquire("T2", "this").read("T2", "elems").release("T2", "this"); // contains
-    b.acquire("T2", "this").read("T2", "elems").write("T2", "elems"); // add
+    b.acquire("T2", "this")
+        .read("T2", "elems")
+        .release("T2", "this"); // contains
+    b.acquire("T2", "this")
+        .read("T2", "elems")
+        .write("T2", "elems"); // add
     b.release("T2", "this").end("T2");
-    b.acquire("T1", "this").read("T1", "elems").write("T1", "elems"); // add
+    b.acquire("T1", "this")
+        .read("T1", "elems")
+        .write("T1", "elems"); // add
     b.release("T1", "this").end("T1");
     let trace = b.finish();
     assert!(!oracle::is_serializable(&trace));
 
     let (warnings, engine) = check_all(&trace);
     assert_eq!(warnings.len(), 1);
-    assert!(warnings[0].message.contains("Set.add is not atomic"), "{}", warnings[0].message);
+    assert!(
+        warnings[0].message.contains("Set.add is not atomic"),
+        "{}",
+        warnings[0].message
+    );
     let dot = warnings[0].details.as_ref().unwrap();
     assert!(dot.contains("digraph"));
-    assert!(dot.contains("style=dashed"), "closing edge is dashed: {dot}");
-    assert!(dot.contains("peripheries=2"), "blamed box is outlined: {dot}");
+    assert!(
+        dot.contains("style=dashed"),
+        "closing edge is dashed: {dot}"
+    );
+    assert!(
+        dot.contains("peripheries=2"),
+        "blamed box is outlined: {dot}"
+    );
     assert!(engine.reports()[0].increasing);
 }
 
@@ -96,10 +130,16 @@ fn flag_handoff_produces_no_warnings() {
         b.end("T2");
     }
     let trace = b.finish();
-    assert!(oracle::is_serializable(&trace), "handoff trace is serializable");
+    assert!(
+        oracle::is_serializable(&trace),
+        "handoff trace is serializable"
+    );
 
     let (warnings, _) = check_all(&trace);
-    assert!(warnings.is_empty(), "complete analysis must not false-alarm: {warnings:?}");
+    assert!(
+        warnings.is_empty(),
+        "complete analysis must not false-alarm: {warnings:?}"
+    );
 }
 
 /// Section 4.3's nested-block example: the cycle refutes blocks `p` and `q`
@@ -109,7 +149,11 @@ fn nested_blocks_refute_p_and_q_but_not_r() {
     let mut b = TraceBuilder::new();
     b.begin("T1", "p").begin("T1", "q").read("T1", "x");
     b.write("T2", "x");
-    b.begin("T1", "r").write("T1", "x").end("T1").end("T1").end("T1");
+    b.begin("T1", "r")
+        .write("T1", "x")
+        .end("T1")
+        .end("T1")
+        .end("T1");
     let trace = b.finish();
 
     let (warnings, engine) = check_all(&trace);
@@ -150,7 +194,12 @@ fn lock_protected_counter_is_atomic() {
     let mut b = TraceBuilder::new();
     for round in 0..50 {
         let t = if round % 2 == 0 { "T1" } else { "T2" };
-        b.begin(t, "inc").acquire(t, "m").read(t, "x").write(t, "x").release(t, "m").end(t);
+        b.begin(t, "inc")
+            .acquire(t, "m")
+            .read(t, "x")
+            .write(t, "x")
+            .release(t, "m")
+            .end(t);
     }
     let (warnings, engine) = check_all(&b.finish());
     assert!(warnings.is_empty());
@@ -164,13 +213,26 @@ fn gc_keeps_alive_count_tiny() {
     let mut b = TraceBuilder::new();
     for i in 0..2_000 {
         let t = if i % 2 == 0 { "T1" } else { "T2" };
-        b.begin(t, "work").acquire(t, "m").read(t, "x").write(t, "x").release(t, "m").end(t);
+        b.begin(t, "work")
+            .acquire(t, "m")
+            .read(t, "x")
+            .write(t, "x")
+            .release(t, "m")
+            .end(t);
     }
     let (warnings, engine) = check_all(&b.finish());
     assert!(warnings.is_empty());
     let stats = engine.stats();
-    assert!(stats.max_alive <= 8, "max alive {} should be tiny", stats.max_alive);
-    assert_eq!(engine.alive_nodes(), 0, "everything collected at quiescence");
+    assert!(
+        stats.max_alive <= 8,
+        "max alive {} should be tiny",
+        stats.max_alive
+    );
+    assert_eq!(
+        engine.alive_nodes(),
+        0,
+        "everything collected at quiescence"
+    );
 }
 
 /// The merge optimization eliminates node allocation for unary operations
@@ -187,8 +249,14 @@ fn merge_eliminates_unary_allocations() {
     }
     let trace = b.finish();
 
-    let merged = VelodromeConfig { merge: true, ..VelodromeConfig::default() };
-    let unmerged = VelodromeConfig { merge: false, ..VelodromeConfig::default() };
+    let merged = VelodromeConfig {
+        merge: true,
+        ..VelodromeConfig::default()
+    };
+    let unmerged = VelodromeConfig {
+        merge: false,
+        ..VelodromeConfig::default()
+    };
     let (w1, e1) = check_trace_with(&trace, merged);
     let (w2, e2) = check_trace_with(&trace, unmerged);
     assert!(w1.is_empty() && w2.is_empty());
@@ -199,7 +267,10 @@ fn merge_eliminates_unary_allocations() {
         with_merge <= without / 100,
         "merge should eliminate allocations: {with_merge} vs {without}"
     );
-    assert!(e2.stats().max_alive <= 4, "GC keeps the naive variant small too");
+    assert!(
+        e2.stats().max_alive <= 4,
+        "GC keeps the naive variant small too"
+    );
 }
 
 /// Merge and no-merge configurations agree on every verdict.
@@ -221,22 +292,39 @@ fn merge_and_basic_agree_on_violations() {
         {
             let mut b = TraceBuilder::new();
             b.begin("T1", "a").write("T1", "x").end("T1");
-            b.begin("T2", "b").read("T2", "x").write("T2", "y").end("T2");
+            b.begin("T2", "b")
+                .read("T2", "x")
+                .write("T2", "y")
+                .end("T2");
             b.read("T1", "y");
             b.finish()
         },
     ];
     for trace in &traces {
-        let (w1, _) =
-            check_trace_with(trace, VelodromeConfig { merge: true, ..Default::default() });
-        let (w2, _) =
-            check_trace_with(trace, VelodromeConfig { merge: false, ..Default::default() });
+        let (w1, _) = check_trace_with(
+            trace,
+            VelodromeConfig {
+                merge: true,
+                ..Default::default()
+            },
+        );
+        let (w2, _) = check_trace_with(
+            trace,
+            VelodromeConfig {
+                merge: false,
+                ..Default::default()
+            },
+        );
         assert_eq!(
             w1.is_empty(),
             w2.is_empty(),
             "merge/no-merge disagree on:\n{trace}"
         );
-        assert_eq!(w1.is_empty(), oracle::is_serializable(trace), "vs oracle on:\n{trace}");
+        assert_eq!(
+            w1.is_empty(),
+            oracle::is_serializable(trace),
+            "vs oracle on:\n{trace}"
+        );
     }
 }
 
@@ -265,9 +353,15 @@ fn dedup_reports_each_method_once() {
     let trace = b.finish();
     let (warnings, engine) = check_all(&trace);
     assert_eq!(warnings.len(), 1, "one warning for `inc`");
-    assert!(engine.stats().cycles_detected >= 10, "but every cycle is detected");
+    assert!(
+        engine.stats().cycles_detected >= 10,
+        "but every cycle is detected"
+    );
 
-    let cfg = VelodromeConfig { dedup_per_label: false, ..VelodromeConfig::default() };
+    let cfg = VelodromeConfig {
+        dedup_per_label: false,
+        ..VelodromeConfig::default()
+    };
     let (all, _) = check_trace_with(&trace, cfg);
     assert_eq!(all.len(), 10, "without dedup every occurrence is reported");
 }
@@ -298,9 +392,15 @@ fn fork_join_synchronization_is_understood() {
     let mut b = TraceBuilder::new();
     b.begin("T1", "prepare").write("T1", "x").end("T1");
     b.fork("T1", "T2");
-    b.begin("T2", "consume").read("T2", "x").write("T2", "y").end("T2");
+    b.begin("T2", "consume")
+        .read("T2", "x")
+        .write("T2", "y")
+        .end("T2");
     b.join("T1", "T2");
-    b.begin("T1", "collect").read("T1", "y").write("T1", "x").end("T1");
+    b.begin("T1", "collect")
+        .read("T1", "y")
+        .write("T1", "x")
+        .end("T1");
     let trace = b.finish();
     assert!(oracle::is_serializable(&trace));
     let (warnings, _) = check_all(&trace);
@@ -313,7 +413,10 @@ fn fork_join_synchronization_is_understood() {
 fn missing_fork_edge_would_be_a_violation() {
     let mut b = TraceBuilder::new();
     b.begin("T1", "outer").write("T1", "x");
-    b.begin("T2", "consume").read("T2", "x").write("T2", "y").end("T2");
+    b.begin("T2", "consume")
+        .read("T2", "x")
+        .write("T2", "y")
+        .end("T2");
     b.read("T1", "y").end("T1");
     let (warnings, _) = check_all(&b.finish());
     assert_eq!(warnings.len(), 1);
@@ -370,7 +473,10 @@ fn stress_invariants_hold() {
         }
     }
     let trace = b.finish();
-    let cfg = VelodromeConfig { names: trace.names().clone(), ..VelodromeConfig::default() };
+    let cfg = VelodromeConfig {
+        names: trace.names().clone(),
+        ..VelodromeConfig::default()
+    };
     let mut engine = Velodrome::with_config(cfg);
     for (i, op) in trace.iter() {
         engine.op(i, op);

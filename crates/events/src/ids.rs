@@ -118,22 +118,34 @@ impl SymbolTable {
 
     /// Returns the display name of a thread.
     pub fn thread(&self, t: ThreadId) -> String {
-        self.threads.get(&t.raw()).cloned().unwrap_or_else(|| t.to_string())
+        self.threads
+            .get(&t.raw())
+            .cloned()
+            .unwrap_or_else(|| t.to_string())
     }
 
     /// Returns the display name of a variable.
     pub fn var(&self, x: VarId) -> String {
-        self.vars.get(&x.raw()).cloned().unwrap_or_else(|| x.to_string())
+        self.vars
+            .get(&x.raw())
+            .cloned()
+            .unwrap_or_else(|| x.to_string())
     }
 
     /// Returns the display name of a lock.
     pub fn lock(&self, m: LockId) -> String {
-        self.locks.get(&m.raw()).cloned().unwrap_or_else(|| m.to_string())
+        self.locks
+            .get(&m.raw())
+            .cloned()
+            .unwrap_or_else(|| m.to_string())
     }
 
     /// Returns the display name of a label.
     pub fn label(&self, l: Label) -> String {
-        self.labels.get(&l.raw()).cloned().unwrap_or_else(|| l.to_string())
+        self.labels
+            .get(&l.raw())
+            .cloned()
+            .unwrap_or_else(|| l.to_string())
     }
 }
 

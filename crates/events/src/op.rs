@@ -199,7 +199,10 @@ mod tests {
     #[test]
     fn same_thread_always_conflicts() {
         let a = Op::Read { t: t(0), x: x(0) };
-        let b = Op::Begin { t: t(0), l: Label::new(0) };
+        let b = Op::Begin {
+            t: t(0),
+            l: Label::new(0),
+        };
         assert!(a.conflicts_with(b));
         assert!(b.conflicts_with(a));
     }
@@ -237,7 +240,10 @@ mod tests {
 
     #[test]
     fn fork_conflicts_with_child_ops() {
-        let f = Op::Fork { t: t(0), child: t(1) };
+        let f = Op::Fork {
+            t: t(0),
+            child: t(1),
+        };
         let childs = Op::Read { t: t(1), x: x(0) };
         let others = Op::Read { t: t(2), x: x(0) };
         assert!(f.conflicts_with(childs));
@@ -247,7 +253,10 @@ mod tests {
 
     #[test]
     fn join_conflicts_with_child_ops() {
-        let j = Op::Join { t: t(0), child: t(1) };
+        let j = Op::Join {
+            t: t(0),
+            child: t(1),
+        };
         let childs = Op::Write { t: t(1), x: x(0) };
         assert!(j.conflicts_with(childs));
         assert!(childs.conflicts_with(j));
@@ -260,7 +269,10 @@ mod tests {
         assert_eq!(a.var(), Some(x(9)));
         assert_eq!(a.lock(), None);
         assert!(a.is_access() && a.is_write() && !a.is_marker());
-        let b = Op::Begin { t: t(1), l: Label::new(4) };
+        let b = Op::Begin {
+            t: t(1),
+            l: Label::new(4),
+        };
         assert!(b.is_marker() && !b.is_access());
     }
 
@@ -268,9 +280,20 @@ mod tests {
     fn display_forms() {
         assert_eq!(Op::Read { t: t(1), x: x(2) }.to_string(), "rd(T1, x2)");
         assert_eq!(
-            Op::Begin { t: t(0), l: Label::new(3) }.to_string(),
+            Op::Begin {
+                t: t(0),
+                l: Label::new(3)
+            }
+            .to_string(),
             "begin_L3(T0)"
         );
-        assert_eq!(Op::Fork { t: t(0), child: t(1) }.to_string(), "fork(T0, T1)");
+        assert_eq!(
+            Op::Fork {
+                t: t(0),
+                child: t(1)
+            }
+            .to_string(),
+            "fork(T0, T1)"
+        );
     }
 }

@@ -70,7 +70,10 @@ pub fn check_segmented(trace: &Trace, txns: &Transactions) -> SerializabilityRes
             serializable: false,
             cycle: Some(cycle.into_iter().map(TxnId::new).collect()),
         },
-        None => SerializabilityResult { serializable: true, cycle: None },
+        None => SerializabilityResult {
+            serializable: true,
+            cycle: None,
+        },
     }
 }
 
@@ -215,17 +218,19 @@ fn is_serial_ops(ops: &[Op]) -> bool {
     is_serial(&Trace::from_ops(ops.iter().copied()))
 }
 
+/// An operation identified as the `k`-th operation of a transaction,
+/// which is stable across reorderings of whole transactions.
+type OpKey = (u32, u32);
+
 /// The reads-from and final-write structure of a trace, used to decide
-/// *view* equivalence. Operations are identified by `(transaction, k)` —
-/// the `k`-th operation of a transaction — which is stable across
-/// reorderings of whole transactions.
+/// *view* equivalence.
 #[derive(Debug, PartialEq, Eq)]
 struct ViewStructure {
-    /// For each read (txn, k): the write `(txn, k)` it reads from, or
-    /// `None` for the initial value.
-    reads_from: Vec<((u32, u32), Option<(u32, u32)>)>,
+    /// For each read: the write it reads from, or `None` for the
+    /// initial value.
+    reads_from: Vec<(OpKey, Option<OpKey>)>,
     /// Final writer per variable.
-    final_writes: Vec<(u32, (u32, u32))>,
+    final_writes: Vec<(u32, OpKey)>,
 }
 
 fn view_structure(ops: &[(Op, u32, u32)]) -> ViewStructure {
@@ -246,7 +251,10 @@ fn view_structure(ops: &[(Op, u32, u32)]) -> ViewStructure {
     let mut final_writes: Vec<(u32, (u32, u32))> = last_write.into_iter().collect();
     final_writes.sort_unstable();
     reads_from.sort_unstable();
-    ViewStructure { reads_from, final_writes }
+    ViewStructure {
+        reads_from,
+        final_writes,
+    }
 }
 
 /// Decides *view serializability* by brute force: does some serial order of
@@ -259,10 +267,7 @@ fn view_structure(ops: &[(Op, u32, u32)]) -> ViewStructure {
 /// notions of conflict- and view-atomicity. Deciding it is NP-complete, so
 /// this enumerates all `n!` transaction orders and is only usable for tiny
 /// traces; `max_orders` bounds the enumeration.
-pub fn view_serializable(
-    trace: &Trace,
-    max_orders: usize,
-) -> Result<bool, SearchBudgetExceeded> {
+pub fn view_serializable(trace: &Trace, max_orders: usize) -> Result<bool, SearchBudgetExceeded> {
     let txns = Transactions::segment(trace);
     let n = txns.len();
     // Tag every op with (txn, position-within-txn).
@@ -290,8 +295,10 @@ pub fn view_serializable(
     let mut c = vec![0usize; n];
     let mut tried = 0usize;
     let check = |order: &[usize]| -> bool {
-        let serial: Vec<(Op, u32, u32)> =
-            order.iter().flat_map(|&t| per_txn[t].iter().copied()).collect();
+        let serial: Vec<(Op, u32, u32)> = order
+            .iter()
+            .flat_map(|&t| per_txn[t].iter().copied())
+            .collect();
         view_structure(&serial) == original
     };
     if check(&order) {
@@ -422,8 +429,14 @@ mod tests {
     #[test]
     fn serial_trace_is_serializable() {
         let mut b = TraceBuilder::new();
-        b.begin("T1", "inc").read("T1", "x").write("T1", "x").end("T1");
-        b.begin("T2", "inc").read("T2", "x").write("T2", "x").end("T2");
+        b.begin("T1", "inc")
+            .read("T1", "x")
+            .write("T1", "x")
+            .end("T1");
+        b.begin("T2", "inc")
+            .read("T2", "x")
+            .write("T2", "x")
+            .end("T2");
         let trace = b.finish();
         assert!(is_serial(&trace));
         assert!(is_serializable(&trace));
@@ -458,8 +471,14 @@ mod tests {
         // A -> B via rel/acq(m), B -> C via wr/rd(y), C -> A via wr/rd(x).
         let mut b = TraceBuilder::new();
         b.begin("T1", "A").acquire("T1", "m").release("T1", "m"); // A releases m
-        b.begin("T2", "B").acquire("T2", "m").write("T2", "y").end("T2"); // B
-        b.begin("T3", "C").read("T3", "y").write("T3", "x").end("T3"); // C
+        b.begin("T2", "B")
+            .acquire("T2", "m")
+            .write("T2", "y")
+            .end("T2"); // B
+        b.begin("T3", "C")
+            .read("T3", "y")
+            .write("T3", "x")
+            .end("T3"); // C
         b.read("T1", "x").end("T1"); // A reads x written by C
         let trace = b.finish();
         let result = check(&trace);
@@ -475,7 +494,10 @@ mod tests {
         // forms a two-cycle.
         let mut b = TraceBuilder::new();
         b.begin("T1", "E").read("T1", "x");
-        b.begin("T2", "D").write("T2", "x").read("T2", "y").end("T2");
+        b.begin("T2", "D")
+            .write("T2", "x")
+            .read("T2", "y")
+            .end("T2");
         b.write("T1", "y").end("T1");
         let trace = b.finish();
         let result = check(&trace);
@@ -487,7 +509,10 @@ mod tests {
     fn fork_join_orders_transactions() {
         // Parent writes x, forks child which reads x: ordered, serializable.
         let mut b = TraceBuilder::new();
-        b.write("T1", "x").fork("T1", "T2").read("T2", "x").join("T1", "T2");
+        b.write("T1", "x")
+            .fork("T1", "T2")
+            .read("T2", "x")
+            .join("T1", "T2");
         b.read("T1", "x");
         assert!(is_serializable(&b.finish()));
     }
@@ -512,7 +537,10 @@ mod tests {
         b.read("T1", "b");
         b.read("T0", "a").end("T0");
         let trace = b.finish();
-        assert_eq!(serial_equivalent_exists(&trace, 10), Err(SearchBudgetExceeded));
+        assert_eq!(
+            serial_equivalent_exists(&trace, 10),
+            Err(SearchBudgetExceeded)
+        );
     }
 
     #[test]
@@ -526,8 +554,14 @@ mod tests {
         b.write("T1", "x").end("T1");
         let trace = b.finish();
         // txn0 = D, txn1 = unary write.
-        assert_eq!(self_serializable(&trace, TxnId::new(0), 1_000_000), Ok(false));
-        assert_eq!(self_serializable(&trace, TxnId::new(1), 1_000_000), Ok(true));
+        assert_eq!(
+            self_serializable(&trace, TxnId::new(0), 1_000_000),
+            Ok(false)
+        );
+        assert_eq!(
+            self_serializable(&trace, TxnId::new(1), 1_000_000),
+            Ok(true)
+        );
     }
 
     #[test]
@@ -541,8 +575,14 @@ mod tests {
         b.read("T2", "x").end("T2");
         let trace = b.finish();
         assert!(!is_serializable(&trace));
-        assert_eq!(self_serializable(&trace, TxnId::new(0), 1_000_000), Ok(true));
-        assert_eq!(self_serializable(&trace, TxnId::new(1), 1_000_000), Ok(true));
+        assert_eq!(
+            self_serializable(&trace, TxnId::new(0), 1_000_000),
+            Ok(true)
+        );
+        assert_eq!(
+            self_serializable(&trace, TxnId::new(1), 1_000_000),
+            Ok(true)
+        );
     }
 
     #[test]
@@ -568,7 +608,11 @@ mod tests {
         b.begin("T3", "c").write("T3", "x").end("T3");
         let trace = b.finish();
         assert!(!is_serializable(&trace), "conflict-cyclic");
-        assert_eq!(view_serializable(&trace, 1_000_000), Ok(true), "but view-serializable");
+        assert_eq!(
+            view_serializable(&trace, 1_000_000),
+            Ok(true),
+            "but view-serializable"
+        );
     }
 
     #[test]

@@ -114,8 +114,15 @@ impl fmt::Display for ValidityError {
                 write!(f, "op {at}: fork of already-active thread {child}")
             }
             ValidityError::SelfFork { at, t } => write!(f, "op {at}: thread {t} forks itself"),
-            ValidityError::JoinBeforeChildFinished { at, child, child_op } => {
-                write!(f, "op {at}: join of {child} which still runs at op {child_op}")
+            ValidityError::JoinBeforeChildFinished {
+                at,
+                child,
+                child_op,
+            } => {
+                write!(
+                    f,
+                    "op {at}: join of {child} which still runs at op {child_op}"
+                )
             }
             ValidityError::SelfJoin { at, t } => write!(f, "op {at}: thread {t} joins itself"),
             ValidityError::LockHeldAtEnd { m, holder } => {
@@ -128,17 +135,11 @@ impl fmt::Display for ValidityError {
 impl Error for ValidityError {}
 
 /// Options controlling [`validate_with`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ValidateOptions {
     /// Require every lock to be released by the end of the trace.
     /// Defaults to `false`: monitors may observe truncated executions.
     pub require_locks_released: bool,
-}
-
-impl Default for ValidateOptions {
-    fn default() -> Self {
-        Self { require_locks_released: false }
-    }
 }
 
 /// Checks a whole trace against the Figure 1 semantics with default options.
@@ -179,7 +180,11 @@ impl TraceChecker {
         if let Some(&at) = self.joined.get(&t) {
             // A joined thread can never act again; report it as a join that
             // happened before the child finished.
-            return Err(ValidityError::JoinBeforeChildFinished { at, child: t, child_op: i });
+            return Err(ValidityError::JoinBeforeChildFinished {
+                at,
+                child: t,
+                child_op: i,
+            });
         }
         match op {
             Acquire { m, .. } => {
@@ -413,10 +418,16 @@ mod tests {
     fn self_fork_and_self_join_rejected() {
         let mut b = TraceBuilder::new();
         b.fork("T1", "T1");
-        assert!(matches!(validate(&b.finish()).unwrap_err(), ValidityError::SelfFork { .. }));
+        assert!(matches!(
+            validate(&b.finish()).unwrap_err(),
+            ValidityError::SelfFork { .. }
+        ));
         let mut b = TraceBuilder::new();
         b.join("T1", "T1");
-        assert!(matches!(validate(&b.finish()).unwrap_err(), ValidityError::SelfJoin { .. }));
+        assert!(matches!(
+            validate(&b.finish()).unwrap_err(),
+            ValidityError::SelfJoin { .. }
+        ));
     }
 
     #[test]
@@ -425,8 +436,13 @@ mod tests {
         b.acquire("T1", "m");
         let trace = b.finish();
         assert_eq!(validate(&trace), Ok(()));
-        let err = validate_with(&trace, ValidateOptions { require_locks_released: true })
-            .unwrap_err();
+        let err = validate_with(
+            &trace,
+            ValidateOptions {
+                require_locks_released: true,
+            },
+        )
+        .unwrap_err();
         assert!(matches!(err, ValidityError::LockHeldAtEnd { .. }));
     }
 
@@ -465,9 +481,13 @@ mod tests {
         let t1 = crate::ids::ThreadId::new(0);
         let t2 = crate::ids::ThreadId::new(1);
         let x = crate::ids::VarId::new(0);
-        checker.check(crate::op::Op::Fork { t: t1, child: t2 }).unwrap();
+        checker
+            .check(crate::op::Op::Fork { t: t1, child: t2 })
+            .unwrap();
         checker.check(crate::op::Op::Write { t: t2, x }).unwrap();
-        checker.check(crate::op::Op::Join { t: t1, child: t2 }).unwrap();
+        checker
+            .check(crate::op::Op::Join { t: t1, child: t2 })
+            .unwrap();
         assert!(checker.check(crate::op::Op::Write { t: t2, x }).is_err());
     }
 

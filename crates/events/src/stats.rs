@@ -59,7 +59,10 @@ impl TraceStats {
     /// assert_eq!(stats.unary_transactions, 1);
     /// ```
     pub fn compute(trace: &Trace) -> Self {
-        let mut s = TraceStats { ops: trace.len(), ..TraceStats::default() };
+        let mut s = TraceStats {
+            ops: trace.len(),
+            ..TraceStats::default()
+        };
         let mut vars = HashSet::new();
         let mut locks = HashSet::new();
         let mut depth: std::collections::HashMap<_, usize> = std::collections::HashMap::new();
@@ -96,8 +99,7 @@ impl TraceStats {
         let txns = Transactions::segment(trace);
         s.transactions = txns.len();
         s.unary_transactions = txns.txns().iter().filter(|t| t.unary).count();
-        s.max_transaction_ops =
-            txns.txns().iter().map(|t| t.op_count).max().unwrap_or(0);
+        s.max_transaction_ops = txns.txns().iter().map(|t| t.op_count).max().unwrap_or(0);
         s
     }
 }
@@ -139,7 +141,10 @@ mod tests {
     fn counts_every_kind() {
         let mut b = TraceBuilder::new();
         b.begin("T1", "p").begin("T1", "q");
-        b.acquire("T1", "m").read("T1", "x").write("T1", "x").release("T1", "m");
+        b.acquire("T1", "m")
+            .read("T1", "x")
+            .write("T1", "x")
+            .release("T1", "m");
         b.end("T1").end("T1");
         b.fork("T1", "T2").read("T2", "y").join("T1", "T2");
         let stats = TraceStats::compute(&b.finish());

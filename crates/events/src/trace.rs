@@ -26,7 +26,10 @@ impl Trace {
 
     /// Creates a trace from a sequence of operations, with no symbol names.
     pub fn from_ops(ops: impl IntoIterator<Item = Op>) -> Self {
-        Self { ops: ops.into_iter().collect(), names: SymbolTable::new() }
+        Self {
+            ops: ops.into_iter().collect(),
+            names: SymbolTable::new(),
+        }
     }
 
     /// Appends an operation.
@@ -195,31 +198,46 @@ impl TraceBuilder {
 
     /// Appends `rd(t, x)`.
     pub fn read(&mut self, t: &str, x: &str) -> &mut Self {
-        let op = Op::Read { t: self.thread(t), x: self.var(x) };
+        let op = Op::Read {
+            t: self.thread(t),
+            x: self.var(x),
+        };
         self.push(op)
     }
 
     /// Appends `wr(t, x)`.
     pub fn write(&mut self, t: &str, x: &str) -> &mut Self {
-        let op = Op::Write { t: self.thread(t), x: self.var(x) };
+        let op = Op::Write {
+            t: self.thread(t),
+            x: self.var(x),
+        };
         self.push(op)
     }
 
     /// Appends `acq(t, m)`.
     pub fn acquire(&mut self, t: &str, m: &str) -> &mut Self {
-        let op = Op::Acquire { t: self.thread(t), m: self.lock(m) };
+        let op = Op::Acquire {
+            t: self.thread(t),
+            m: self.lock(m),
+        };
         self.push(op)
     }
 
     /// Appends `rel(t, m)`.
     pub fn release(&mut self, t: &str, m: &str) -> &mut Self {
-        let op = Op::Release { t: self.thread(t), m: self.lock(m) };
+        let op = Op::Release {
+            t: self.thread(t),
+            m: self.lock(m),
+        };
         self.push(op)
     }
 
     /// Appends `begin_l(t)`.
     pub fn begin(&mut self, t: &str, l: &str) -> &mut Self {
-        let op = Op::Begin { t: self.thread(t), l: self.label(l) };
+        let op = Op::Begin {
+            t: self.thread(t),
+            l: self.label(l),
+        };
         self.push(op)
     }
 
@@ -231,13 +249,19 @@ impl TraceBuilder {
 
     /// Appends `fork(t, child)`.
     pub fn fork(&mut self, t: &str, child: &str) -> &mut Self {
-        let op = Op::Fork { t: self.thread(t), child: self.thread(child) };
+        let op = Op::Fork {
+            t: self.thread(t),
+            child: self.thread(child),
+        };
         self.push(op)
     }
 
     /// Appends `join(t, child)`.
     pub fn join(&mut self, t: &str, child: &str) -> &mut Self {
-        let op = Op::Join { t: self.thread(t), child: self.thread(child) };
+        let op = Op::Join {
+            t: self.thread(t),
+            child: self.thread(child),
+        };
         self.push(op)
     }
 
@@ -303,8 +327,15 @@ mod tests {
     #[test]
     fn from_iter_collects() {
         let t = ThreadId::new(0);
-        let trace: Trace =
-            vec![Op::Begin { t, l: Label::new(0) }, Op::End { t }].into_iter().collect();
+        let trace: Trace = vec![
+            Op::Begin {
+                t,
+                l: Label::new(0),
+            },
+            Op::End { t },
+        ]
+        .into_iter()
+        .collect();
         assert_eq!(trace.len(), 2);
     }
 }

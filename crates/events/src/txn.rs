@@ -216,7 +216,10 @@ mod tests {
     #[test]
     fn atomic_block_is_one_transaction() {
         let mut b = TraceBuilder::new();
-        b.begin("T1", "add").read("T1", "x").write("T1", "x").end("T1");
+        b.begin("T1", "add")
+            .read("T1", "x")
+            .write("T1", "x")
+            .end("T1");
         let trace = b.finish();
         let txns = Transactions::segment(&trace);
         assert_eq!(txns.len(), 1);
@@ -229,7 +232,11 @@ mod tests {
     #[test]
     fn nested_blocks_stay_in_outer_transaction() {
         let mut b = TraceBuilder::new();
-        b.begin("T1", "p").begin("T1", "q").read("T1", "x").end("T1").end("T1");
+        b.begin("T1", "p")
+            .begin("T1", "q")
+            .read("T1", "x")
+            .end("T1")
+            .end("T1");
         let txns = Transactions::segment(&b.finish());
         assert_eq!(txns.len(), 1);
         assert_eq!(txns.txns()[0].op_count, 5);

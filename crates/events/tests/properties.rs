@@ -3,7 +3,9 @@
 //! would produce (segmentation and the oracle are total functions).
 
 use proptest::prelude::*;
-use velodrome_events::{oracle, Label, LockId, Op, ThreadId, Trace, TraceStats, Transactions, VarId};
+use velodrome_events::{
+    oracle, Label, LockId, Op, ThreadId, Trace, TraceStats, Transactions, VarId,
+};
 
 fn arb_op() -> impl Strategy<Value = Op> {
     let t = (0u32..4).prop_map(ThreadId::new);

@@ -176,9 +176,17 @@ mod tests {
         // describes.
         let w = warnings(|b| {
             b.read("T1", "b");
-            b.begin("T1", "c1").read("T1", "x").write("T1", "x").write("T1", "b").end("T1");
+            b.begin("T1", "c1")
+                .read("T1", "x")
+                .write("T1", "x")
+                .write("T1", "b")
+                .end("T1");
             b.read("T2", "b");
-            b.begin("T2", "c2").read("T2", "x").write("T2", "x").write("T2", "b").end("T2");
+            b.begin("T2", "c2")
+                .read("T2", "x")
+                .write("T2", "x")
+                .write("T2", "b")
+                .end("T2");
         });
         assert!(!w.is_empty(), "Eraser false-alarms on the handoff idiom");
     }

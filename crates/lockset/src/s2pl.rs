@@ -123,7 +123,11 @@ impl Tool for StrictTwoPhase {
                 if self.in_txn(t) {
                     let shrinking = self.threads.entry(t).or_default().shrinking;
                     if shrinking {
-                        self.violation(t, index, "lock acquired after a release (growing phase over)");
+                        self.violation(
+                            t,
+                            index,
+                            "lock acquired after a release (growing phase over)",
+                        );
                     }
                     self.threads.entry(t).or_default().acquired.insert(m);
                 }
@@ -189,7 +193,10 @@ mod tests {
     #[test]
     fn unprotected_access_is_flagged() {
         let w = warnings(|b| {
-            b.begin("T1", "inc").read("T1", "x").write("T1", "x").end("T1");
+            b.begin("T1", "inc")
+                .read("T1", "x")
+                .write("T1", "x")
+                .end("T1");
         });
         assert_eq!(w.len(), 1);
         assert!(w[0].message.contains("unprotected"), "{}", w[0].message);
@@ -221,7 +228,10 @@ mod tests {
     fn dedup_per_label() {
         let mut b = TraceBuilder::new();
         for _ in 0..5 {
-            b.begin("T1", "inc").read("T1", "x").write("T1", "x").end("T1");
+            b.begin("T1", "inc")
+                .read("T1", "x")
+                .write("T1", "x")
+                .end("T1");
         }
         let mut tool = StrictTwoPhase::new();
         let w = run_tool(&mut tool, &b.finish());

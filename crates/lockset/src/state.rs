@@ -103,8 +103,7 @@ impl LockSetState {
                 }
             }
             VarState::Shared(candidate) => {
-                let mut c: HashSet<LockId> =
-                    candidate.intersection(&held).copied().collect();
+                let mut c: HashSet<LockId> = candidate.intersection(&held).copied().collect();
                 if is_write {
                     let racy = c.is_empty();
                     *state = VarState::SharedModified(std::mem::take(&mut c));

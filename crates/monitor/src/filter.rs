@@ -31,7 +31,11 @@ pub struct ReentrantLockFilter<T> {
 impl<T: Tool> ReentrantLockFilter<T> {
     /// Wraps `inner` with re-entrancy filtering.
     pub fn new(inner: T) -> Self {
-        Self { inner, holds: HashMap::new(), suppressed: 0 }
+        Self {
+            inner,
+            holds: HashMap::new(),
+            suppressed: 0,
+        }
     }
 
     /// Number of suppressed redundant operations.
@@ -112,7 +116,11 @@ pub struct ThreadLocalFilter<T> {
 impl<T: Tool> ThreadLocalFilter<T> {
     /// Wraps `inner` with thread-local filtering.
     pub fn new(inner: T) -> Self {
-        Self { inner, vars: HashMap::new(), suppressed: 0 }
+        Self {
+            inner,
+            vars: HashMap::new(),
+            suppressed: 0,
+        }
     }
 
     /// Number of suppressed thread-local accesses.
@@ -185,7 +193,12 @@ pub struct SpecFilter<T> {
 impl<T: Tool> SpecFilter<T> {
     /// Wraps `inner`, checking only the blocks selected by `spec`.
     pub fn new(spec: AtomicitySpec, inner: T) -> Self {
-        Self { inner, spec, stacks: HashMap::new(), suppressed: 0 }
+        Self {
+            inner,
+            spec,
+            stacks: HashMap::new(),
+            suppressed: 0,
+        }
     }
 
     /// Number of suppressed `begin`/`end` markers.
@@ -337,7 +350,10 @@ mod tests {
     #[test]
     fn non_reentrant_locking_passes_through() {
         let mut b = TraceBuilder::new();
-        b.acquire("T1", "m").release("T1", "m").acquire("T2", "m").release("T2", "m");
+        b.acquire("T1", "m")
+            .release("T1", "m")
+            .acquire("T2", "m")
+            .release("T2", "m");
         let mut filter = ReentrantLockFilter::new(Sink::default());
         run_tool(&mut filter, &b.finish());
         assert_eq!(filter.suppressed(), 0);
@@ -359,7 +375,10 @@ mod tests {
     #[test]
     fn thread_local_filter_passes_locks_and_markers() {
         let mut b = TraceBuilder::new();
-        b.begin("T1", "p").acquire("T1", "m").release("T1", "m").end("T1");
+        b.begin("T1", "p")
+            .acquire("T1", "m")
+            .release("T1", "m")
+            .end("T1");
         let mut filter = ThreadLocalFilter::new(Sink::default());
         run_tool(&mut filter, &b.finish());
         assert_eq!(filter.inner().ops.len(), 4);
@@ -378,7 +397,10 @@ mod tests {
     #[test]
     fn strip_reentrant_keeps_outermost_pair() {
         let mut b = TraceBuilder::new();
-        b.acquire("T1", "m").acquire("T1", "m").release("T1", "m").release("T1", "m");
+        b.acquire("T1", "m")
+            .acquire("T1", "m")
+            .release("T1", "m")
+            .release("T1", "m");
         let stripped = strip_reentrant(&b.finish());
         assert_eq!(stripped.len(), 2);
     }
@@ -389,7 +411,11 @@ mod tests {
         let mut b = TraceBuilder::new();
         b.begin("T1", "keep").read("T1", "x").end("T1");
         b.begin("T1", "drop").read("T1", "x").end("T1");
-        b.begin("T1", "drop").begin("T1", "keep").read("T1", "x").end("T1").end("T1");
+        b.begin("T1", "drop")
+            .begin("T1", "keep")
+            .read("T1", "x")
+            .end("T1")
+            .end("T1");
         let spec = AtomicitySpec::excluding([Label::new(1)]); // "drop"
         let mut filter = SpecFilter::new(spec, Sink::default());
         run_tool(&mut filter, &b.finish());
@@ -402,7 +428,10 @@ mod tests {
             .map(|o| o.to_string())
             .collect();
         // Only the two "keep" blocks' markers survive.
-        assert_eq!(markers, vec!["begin_L0(T0)", "end(T0)", "begin_L0(T0)", "end(T0)"]);
+        assert_eq!(
+            markers,
+            vec!["begin_L0(T0)", "end(T0)", "begin_L0(T0)", "end(T0)"]
+        );
         assert_eq!(filter.inner().ops.len(), 3 + 4);
     }
 

@@ -112,7 +112,11 @@ impl Runtime {
         let id = VarId::new(st.next_var);
         st.next_var += 1;
         st.trace.names_mut().name_var(id, name);
-        Shared { rt: self.clone(), id, value: Arc::new(Mutex::new(value)) }
+        Shared {
+            rt: self.clone(),
+            id,
+            value: Arc::new(Mutex::new(value)),
+        }
     }
 
     /// Allocates a new instrumented lock protecting `value`.
@@ -121,7 +125,11 @@ impl Runtime {
         let id = LockId::new(st.next_lock);
         st.next_lock += 1;
         st.trace.names_mut().name_lock(id, name);
-        TLock { rt: self.clone(), id, inner: Arc::new(Mutex::new(value)) }
+        TLock {
+            rt: self.clone(),
+            id,
+            inner: Arc::new(Mutex::new(value)),
+        }
     }
 
     fn intern_label(&self, name: &str) -> Label {
@@ -190,7 +198,10 @@ impl Runtime {
     pub fn join(&self, token: ForkToken) {
         let mut st = self.state.lock();
         let t = st.current_thread();
-        st.emit(Op::Join { t, child: token.child });
+        st.emit(Op::Join {
+            t,
+            child: token.child,
+        });
     }
 
     /// Registers a display name for the calling thread.
@@ -217,7 +228,10 @@ impl Runtime {
             let w = tool.take_warnings();
             st.warnings.extend(w);
         }
-        (std::mem::take(&mut st.trace), std::mem::take(&mut st.warnings))
+        (
+            std::mem::take(&mut st.trace),
+            std::mem::take(&mut st.warnings),
+        )
     }
 }
 
@@ -290,7 +304,9 @@ impl<T> Shared<T> {
 
 impl<T> std::fmt::Debug for Shared<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Shared").field("id", &self.id).finish_non_exhaustive()
+        f.debug_struct("Shared")
+            .field("id", &self.id)
+            .finish_non_exhaustive()
     }
 }
 
@@ -306,13 +322,19 @@ pub struct TLock<T> {
 
 impl<T> Clone for TLock<T> {
     fn clone(&self) -> Self {
-        Self { rt: self.rt.clone(), id: self.id, inner: Arc::clone(&self.inner) }
+        Self {
+            rt: self.rt.clone(),
+            id: self.id,
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
 impl<T> std::fmt::Debug for TLock<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TLock").field("id", &self.id).finish_non_exhaustive()
+        f.debug_struct("TLock")
+            .field("id", &self.id)
+            .finish_non_exhaustive()
     }
 }
 
@@ -326,7 +348,10 @@ impl<T> TLock<T> {
             let t = st.current_thread();
             st.emit(Op::Acquire { t, m: self.id });
         }
-        TLockGuard { lock: self, guard: Some(guard) }
+        TLockGuard {
+            lock: self,
+            guard: Some(guard),
+        }
     }
 
     /// The lock's identifier in the event stream.

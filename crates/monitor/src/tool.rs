@@ -145,7 +145,10 @@ impl ToolChain {
 impl fmt::Debug for ToolChain {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ToolChain")
-            .field("tools", &self.tools.iter().map(|t| t.name()).collect::<Vec<_>>())
+            .field(
+                "tools",
+                &self.tools.iter().map(|t| t.name()).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -296,7 +299,10 @@ mod tests {
 
     #[test]
     fn run_tool_feeds_all_ops_in_order() {
-        let mut rec = Recorder { seen: vec![], warn_on: 0 };
+        let mut rec = Recorder {
+            seen: vec![],
+            warn_on: 0,
+        };
         run_tool(&mut rec, &small_trace());
         assert_eq!(rec.seen, vec![0, 1, 2]);
     }
@@ -312,8 +318,14 @@ mod tests {
     #[test]
     fn chain_broadcasts_and_merges_warnings() {
         let chain = ToolChain::new()
-            .with(Recorder { seen: vec![], warn_on: 5 })
-            .with(Recorder { seen: vec![], warn_on: 1 });
+            .with(Recorder {
+                seen: vec![],
+                warn_on: 5,
+            })
+            .with(Recorder {
+                seen: vec![],
+                warn_on: 1,
+            });
         let mut chain = chain;
         assert_eq!(chain.len(), 2);
         let warnings = run_tool(&mut chain, &small_trace());
@@ -354,7 +366,13 @@ mod tests {
     #[test]
     fn boxed_tool_delegates() {
         let mut boxed: Box<dyn Tool> = Box::new(EmptyTool::new());
-        boxed.op(0, Op::Read { t: ThreadId::new(0), x: velodrome_events::VarId::new(0) });
+        boxed.op(
+            0,
+            Op::Read {
+                t: ThreadId::new(0),
+                x: velodrome_events::VarId::new(0),
+            },
+        );
         assert_eq!(boxed.name(), "empty");
         assert!(boxed.take_warnings().is_empty());
     }

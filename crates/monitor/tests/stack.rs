@@ -62,7 +62,10 @@ fn spec_filter_inside_a_chain() {
     let trace = messy_trace();
     let excluded = velodrome_events::Label::new(1); // "excluded"
     let chain = ToolChain::new()
-        .with(SpecFilter::new(AtomicitySpec::excluding([excluded]), Sink::default()))
+        .with(SpecFilter::new(
+            AtomicitySpec::excluding([excluded]),
+            Sink::default(),
+        ))
         .with(EmptyTool::new());
     let mut chain = chain;
     let warnings = run_tool(&mut chain, &trace);
@@ -118,13 +121,15 @@ fn full_stack_over_live_threads() {
 fn reentrant_filter_keeps_trace_well_formed_for_validators() {
     // A trace with re-entrancy fails validation raw, passes after filtering.
     let mut b = TraceBuilder::new();
-    b.acquire("T1", "m").acquire("T1", "m").release("T1", "m").release("T1", "m");
+    b.acquire("T1", "m")
+        .acquire("T1", "m")
+        .release("T1", "m")
+        .release("T1", "m");
     let trace = b.finish();
     assert!(semantics::validate(&trace).is_err());
 
     let mut filter = ReentrantLockFilter::new(Sink::default());
     run_tool(&mut filter, &trace);
-    let filtered =
-        velodrome_events::Trace::from_ops(filter.into_inner().ops.iter().copied());
+    let filtered = velodrome_events::Trace::from_ops(filter.into_inner().ops.iter().copied());
     assert_eq!(semantics::validate(&filtered), Ok(()));
 }

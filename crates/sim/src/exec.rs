@@ -56,8 +56,14 @@ struct Cursor<'p> {
 
 impl<'p> Cursor<'p> {
     fn new(stmts: &'p [Stmt]) -> Self {
-        let mut c =
-            Self { frames: vec![Frame { stmts, idx: 0, exit: Exit::None }], work_left: 0 };
+        let mut c = Self {
+            frames: vec![Frame {
+                stmts,
+                idx: 0,
+                exit: Exit::None,
+            }],
+            work_left: 0,
+        };
         c.normalize();
         c
     }
@@ -254,12 +260,14 @@ impl<'p, S: Scheduler> Executor<'p, S> {
         if t == Self::MAIN {
             return match self.main_phase {
                 MainPhase::Setup | MainPhase::Teardown => self.main_cursor.next_action(t),
-                MainPhase::Fork(g) => {
-                    NextAction::Emit(Op::Fork { t, child: Self::worker_tid(g) })
-                }
-                MainPhase::Join(g) => {
-                    NextAction::Emit(Op::Join { t, child: Self::worker_tid(g) })
-                }
+                MainPhase::Fork(g) => NextAction::Emit(Op::Fork {
+                    t,
+                    child: Self::worker_tid(g),
+                }),
+                MainPhase::Join(g) => NextAction::Emit(Op::Join {
+                    t,
+                    child: Self::worker_tid(g),
+                }),
                 MainPhase::Done => NextAction::Done,
             };
         }
@@ -305,17 +313,26 @@ impl<'p, S: Scheduler> Executor<'p, S> {
             MainPhase::Setup => self.step_cursor(Self::MAIN),
             MainPhase::Fork(g) => {
                 if self.program.emit_fork_join {
-                    self.emit(Op::Fork { t: Self::MAIN, child: Self::worker_tid(g) });
+                    self.emit(Op::Fork {
+                        t: Self::MAIN,
+                        child: Self::worker_tid(g),
+                    });
                 }
                 self.forked = g + 1;
                 let (start, end) = self.phase_bounds_of(g);
-                self.main_phase =
-                    if g + 1 < end { MainPhase::Fork(g + 1) } else { MainPhase::Join(start) };
+                self.main_phase = if g + 1 < end {
+                    MainPhase::Fork(g + 1)
+                } else {
+                    MainPhase::Join(start)
+                };
             }
             MainPhase::Join(g) => {
                 debug_assert!(self.cursors[g].done(), "joining an unfinished worker");
                 if self.program.emit_fork_join {
-                    self.emit(Op::Join { t: Self::MAIN, child: Self::worker_tid(g) });
+                    self.emit(Op::Join {
+                        t: Self::MAIN,
+                        child: Self::worker_tid(g),
+                    });
                 }
                 let (_, end) = self.phase_bounds_of(g);
                 if g + 1 < end {
@@ -384,7 +401,11 @@ impl<'p, S: Scheduler> Executor<'p, S> {
                 Stmt::Sync(m, body) => {
                     let (m, body): (LockId, &'p [Stmt]) = (*m, body);
                     top.idx += 1;
-                    cursor.frames.push(Frame { stmts: body, idx: 0, exit: Exit::Release(m) });
+                    cursor.frames.push(Frame {
+                        stmts: body,
+                        idx: 0,
+                        exit: Exit::Release(m),
+                    });
                     let entry = self.locks.entry(m).or_insert((t, 0));
                     debug_assert_eq!(entry.0, t, "scheduler ran a blocked thread");
                     entry.1 += 1;
@@ -395,7 +416,11 @@ impl<'p, S: Scheduler> Executor<'p, S> {
                 Stmt::Atomic(l, body) => {
                     let (l, body): (_, &'p [Stmt]) = (*l, body);
                     top.idx += 1;
-                    cursor.frames.push(Frame { stmts: body, idx: 0, exit: Exit::End });
+                    cursor.frames.push(Frame {
+                        stmts: body,
+                        idx: 0,
+                        exit: Exit::End,
+                    });
                     self.emit(Op::Begin { t, l });
                 }
                 Stmt::Loop(..) | Stmt::Compute(_) => unreachable!("normalized cursor"),
@@ -410,7 +435,11 @@ impl<'p, S: Scheduler> Executor<'p, S> {
         let mut next_ops: Vec<Option<Op>> = Vec::new();
         loop {
             if self.steps >= self.max_steps {
-                return RunResult { trace: self.trace, deadlocked: false, steps: self.steps };
+                return RunResult {
+                    trace: self.trace,
+                    deadlocked: false,
+                    steps: self.steps,
+                };
             }
             runnable_ids.clear();
             next_ops.clear();
@@ -435,8 +464,11 @@ impl<'p, S: Scheduler> Executor<'p, S> {
                     steps: self.steps,
                 };
             }
-            let view =
-                SchedView { runnable: &runnable_ids, next_ops: &next_ops, step: self.steps };
+            let view = SchedView {
+                runnable: &runnable_ids,
+                next_ops: &next_ops,
+                step: self.steps,
+            };
             let choice = self.scheduler.pick(&view).min(runnable_ids.len() - 1);
             let t = runnable_ids[choice];
             self.step(t);
@@ -463,7 +495,10 @@ mod tests {
         let l = b.label("inc");
         let body = vec![Stmt::Loop(
             3,
-            vec![Stmt::Atomic(l, vec![Stmt::Sync(m, vec![Stmt::Read(x), Stmt::Write(x)])])],
+            vec![Stmt::Atomic(
+                l,
+                vec![Stmt::Sync(m, vec![Stmt::Read(x), Stmt::Write(x)])],
+            )],
         )];
         b.setup(vec![Stmt::Write(x)]);
         b.teardown(vec![Stmt::Read(x)]);
@@ -488,11 +523,23 @@ mod tests {
         let p = two_worker_program();
         let trace = run_program(&p, RoundRobin::new()).trace;
         let ops = trace.ops();
-        let first_fork = ops.iter().position(|o| matches!(o, Op::Fork { .. })).unwrap();
-        let first_worker = ops.iter().position(|o| o.tid() != ThreadId::new(0)).unwrap();
+        let first_fork = ops
+            .iter()
+            .position(|o| matches!(o, Op::Fork { .. }))
+            .unwrap();
+        let first_worker = ops
+            .iter()
+            .position(|o| o.tid() != ThreadId::new(0))
+            .unwrap();
         assert!(first_fork < first_worker);
-        let last_join = ops.iter().rposition(|o| matches!(o, Op::Join { .. })).unwrap();
-        let last_worker = ops.iter().rposition(|o| o.tid() != ThreadId::new(0)).unwrap();
+        let last_join = ops
+            .iter()
+            .rposition(|o| matches!(o, Op::Join { .. }))
+            .unwrap();
+        let last_worker = ops
+            .iter()
+            .rposition(|o| o.tid() != ThreadId::new(0))
+            .unwrap();
         assert!(last_join > last_worker);
     }
 
@@ -521,11 +568,22 @@ mod tests {
         let mut b = ProgramBuilder::new();
         let x = b.var("x");
         let m = b.lock("m");
-        b.worker(vec![Stmt::Sync(m, vec![Stmt::Sync(m, vec![Stmt::Write(x)])])]);
+        b.worker(vec![Stmt::Sync(
+            m,
+            vec![Stmt::Sync(m, vec![Stmt::Write(x)])],
+        )]);
         let p = b.finish();
         let trace = run_program(&p, RoundRobin::new()).trace;
-        let acquires = trace.ops().iter().filter(|o| matches!(o, Op::Acquire { .. })).count();
-        let releases = trace.ops().iter().filter(|o| matches!(o, Op::Release { .. })).count();
+        let acquires = trace
+            .ops()
+            .iter()
+            .filter(|o| matches!(o, Op::Acquire { .. }))
+            .count();
+        let releases = trace
+            .ops()
+            .iter()
+            .filter(|o| matches!(o, Op::Release { .. }))
+            .count();
         assert_eq!((acquires, releases), (1, 1));
         assert_eq!(semantics::validate(&trace), Ok(()));
     }
@@ -589,7 +647,9 @@ mod tests {
         let x = b.var("x");
         b.worker(vec![Stmt::Loop(1_000_000, vec![Stmt::Write(x)])]);
         let p = b.finish();
-        let result = Executor::new(&p, RoundRobin::new()).with_max_steps(100).run();
+        let result = Executor::new(&p, RoundRobin::new())
+            .with_max_steps(100)
+            .run();
         assert!(result.steps <= 100);
     }
 
@@ -616,7 +676,13 @@ mod tests {
         let kinds: Vec<String> = trace.ops().iter().map(|o| o.to_string()).collect();
         assert_eq!(
             kinds,
-            vec!["wr(T0, x0)", "fork(T0, T1)", "rd(T1, x0)", "join(T0, T1)", "rd(T0, x0)"]
+            vec![
+                "wr(T0, x0)",
+                "fork(T0, T1)",
+                "rd(T1, x0)",
+                "join(T0, T1)",
+                "rd(T0, x0)"
+            ]
         );
     }
 
@@ -628,12 +694,14 @@ mod tests {
         let p2 = b.label("inner");
         b.worker(vec![
             Stmt::Loop(0, vec![Stmt::Write(x)]), // never runs
-            Stmt::Atomic(p1, vec![Stmt::Atomic(p2, vec![Stmt::Read(x)]), Stmt::Write(x)]),
+            Stmt::Atomic(
+                p1,
+                vec![Stmt::Atomic(p2, vec![Stmt::Read(x)]), Stmt::Write(x)],
+            ),
         ]);
         let p = b.finish();
         let trace = run_program(&p, RoundRobin::new()).trace;
-        let kinds: Vec<String> =
-            trace.ops().iter().map(|o| o.to_string()).collect();
+        let kinds: Vec<String> = trace.ops().iter().map(|o| o.to_string()).collect();
         assert_eq!(
             kinds,
             vec![

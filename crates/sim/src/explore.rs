@@ -31,7 +31,10 @@ pub struct ExploreLimits {
 
 impl Default for ExploreLimits {
     fn default() -> Self {
-        Self { max_traces: 50_000, max_steps: 100_000 }
+        Self {
+            max_traces: 50_000,
+            max_steps: 100_000,
+        }
     }
 }
 
@@ -56,7 +59,12 @@ struct PrefixScheduler<'a> {
 impl Scheduler for PrefixScheduler<'_> {
     fn pick(&mut self, view: &SchedView<'_>) -> usize {
         let step = self.taken.len();
-        let choice = self.prefix.get(step).copied().unwrap_or(0).min(view.runnable.len() - 1);
+        let choice = self
+            .prefix
+            .get(step)
+            .copied()
+            .unwrap_or(0)
+            .min(view.runnable.len() - 1);
         self.taken.push(choice);
         self.branching.push(view.runnable.len());
         choice
@@ -75,8 +83,11 @@ pub fn explore(program: &Program, limits: ExploreLimits) -> ExploreResult {
             truncated = true;
             break;
         }
-        let mut sched =
-            PrefixScheduler { prefix: &prefix, taken: Vec::new(), branching: Vec::new() };
+        let mut sched = PrefixScheduler {
+            prefix: &prefix,
+            taken: Vec::new(),
+            branching: Vec::new(),
+        };
         let result = Executor::new(program, &mut sched)
             .with_max_steps(limits.max_steps)
             .run();
@@ -123,7 +134,10 @@ mod tests {
             seen.insert(format!("{t}"));
         }
         assert_eq!(seen.len(), result.traces.len(), "no duplicate schedules");
-        assert!(result.traces.len() >= 2, "both orders of the conflicting pair");
+        assert!(
+            result.traces.len() >= 2,
+            "both orders of the conflicting pair"
+        );
     }
 
     #[test]
@@ -133,8 +147,10 @@ mod tests {
         let x = b.var("x");
         let m = b.lock("m");
         let l = b.label("inc");
-        let body =
-            vec![Stmt::Atomic(l, vec![Stmt::Sync(m, vec![Stmt::Read(x), Stmt::Write(x)])])];
+        let body = vec![Stmt::Atomic(
+            l,
+            vec![Stmt::Sync(m, vec![Stmt::Read(x), Stmt::Write(x)])],
+        )];
         b.worker(body.clone());
         b.worker(body);
         let p = b.finish();
@@ -167,8 +183,11 @@ mod tests {
         let p = b.finish();
         let result = explore(&p, ExploreLimits::default());
         assert!(!result.truncated);
-        let violating =
-            result.traces.iter().filter(|t| !oracle::is_serializable(t)).count();
+        let violating = result
+            .traces
+            .iter()
+            .filter(|t| !oracle::is_serializable(t))
+            .count();
         assert!(violating > 0, "ground truth: the pattern is non-atomic");
         assert!(
             violating < result.traces.len(),
@@ -184,7 +203,13 @@ mod tests {
             b.worker(vec![Stmt::Loop(4, vec![Stmt::Read(x), Stmt::Write(x)])]);
         }
         let p = b.finish();
-        let result = explore(&p, ExploreLimits { max_traces: 100, max_steps: 10_000 });
+        let result = explore(
+            &p,
+            ExploreLimits {
+                max_traces: 100,
+                max_steps: 10_000,
+            },
+        );
         assert!(result.truncated);
         assert_eq!(result.traces.len(), 100);
     }

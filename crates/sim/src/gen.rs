@@ -107,7 +107,17 @@ fn gen_stmt(
         let n = rng.gen_range(1..=3);
         let body = (0..n)
             .map(|_| {
-                gen_stmt(rng, cfg, vars, locks, b, label_counter, depth - 1, thread, held_lock)
+                gen_stmt(
+                    rng,
+                    cfg,
+                    vars,
+                    locks,
+                    b,
+                    label_counter,
+                    depth - 1,
+                    thread,
+                    held_lock,
+                )
             })
             .collect();
         Stmt::Atomic(label, body)
@@ -117,7 +127,19 @@ fn gen_stmt(
         let m = held_lock.unwrap_or_else(|| locks[rng.gen_range(0..locks.len())]);
         let n = rng.gen_range(1..=3);
         let body = (0..n)
-            .map(|_| gen_stmt(rng, cfg, vars, locks, b, label_counter, depth - 1, thread, Some(m)))
+            .map(|_| {
+                gen_stmt(
+                    rng,
+                    cfg,
+                    vars,
+                    locks,
+                    b,
+                    label_counter,
+                    depth - 1,
+                    thread,
+                    Some(m),
+                )
+            })
             .collect();
         Stmt::Sync(m, body)
     } else if vars.is_empty() {

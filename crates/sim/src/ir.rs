@@ -8,8 +8,8 @@
 //! writes, structured lock regions, structured atomic blocks, loops, and
 //! local compute (scheduler steps that emit no events).
 
-use velodrome_events::{Label, LockId, SymbolTable, VarId};
 use std::collections::HashMap;
+use velodrome_events::{Label, LockId, SymbolTable, VarId};
 
 /// One statement of a thread body.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,9 +35,7 @@ impl Stmt {
             Stmt::Read(_) | Stmt::Write(_) => 1,
             Stmt::Sync(_, body) => 2 + body.iter().map(Stmt::event_count).sum::<u64>(),
             Stmt::Atomic(_, body) => 2 + body.iter().map(Stmt::event_count).sum::<u64>(),
-            Stmt::Loop(n, body) => {
-                u64::from(*n) * body.iter().map(Stmt::event_count).sum::<u64>()
-            }
+            Stmt::Loop(n, body) => u64::from(*n) * body.iter().map(Stmt::event_count).sum::<u64>(),
             Stmt::Compute(_) => 0,
         }
     }
@@ -82,7 +80,10 @@ pub struct Program {
 impl Program {
     /// Creates an empty program with fork/join events enabled.
     pub fn new() -> Self {
-        Self { emit_fork_join: true, ..Self::default() }
+        Self {
+            emit_fork_join: true,
+            ..Self::default()
+        }
     }
 
     /// All worker bodies, flattened across phases in thread-id order.
@@ -97,8 +98,11 @@ impl Program {
 
     /// Total events the program emits (excluding fork/join bookkeeping).
     pub fn event_count(&self) -> u64 {
-        let body: u64 =
-            self.workers().flat_map(|t| t.stmts.iter()).map(Stmt::event_count).sum();
+        let body: u64 = self
+            .workers()
+            .flat_map(|t| t.stmts.iter())
+            .map(Stmt::event_count)
+            .sum();
         let main: u64 = self
             .setup
             .iter()
@@ -141,7 +145,10 @@ pub struct ProgramBuilder {
 impl ProgramBuilder {
     /// Creates an empty builder.
     pub fn new() -> Self {
-        Self { program: Program::new(), ..Self::default() }
+        Self {
+            program: Program::new(),
+            ..Self::default()
+        }
     }
 
     /// Interns a shared-variable name.
@@ -188,7 +195,11 @@ impl ProgramBuilder {
         if self.program.phases.is_empty() {
             self.program.phases.push(Vec::new());
         }
-        self.program.phases.last_mut().expect("phase exists").push(ThreadBody::new(stmts));
+        self.program
+            .phases
+            .last_mut()
+            .expect("phase exists")
+            .push(ThreadBody::new(stmts));
         self.program.worker_count() - 1
     }
 
@@ -196,7 +207,7 @@ impl ProgramBuilder {
     /// worker of the previous phases has been joined.
     pub fn new_phase(&mut self) {
         // Avoid creating empty phases when called before any worker.
-        if self.program.phases.last().is_none_or(|p| !p.is_empty()) {
+        if self.program.phases.last().map_or(true, |p| !p.is_empty()) {
             self.program.phases.push(Vec::new());
         }
     }
@@ -270,7 +281,10 @@ mod tests {
         let l = Label::new(0);
         let stmt = Stmt::Atomic(
             l,
-            vec![Stmt::Loop(3, vec![Stmt::Sync(m, vec![Stmt::Read(x), Stmt::Write(x)])])],
+            vec![Stmt::Loop(
+                3,
+                vec![Stmt::Sync(m, vec![Stmt::Read(x), Stmt::Write(x)])],
+            )],
         );
         // begin + end + 3 * (acq + rd + wr + rel)
         assert_eq!(stmt.event_count(), 2 + 3 * 4);
@@ -283,7 +297,8 @@ mod tests {
         let mut p = Program::new();
         p.setup = vec![Stmt::Write(x)];
         p.teardown = vec![Stmt::Read(x)];
-        p.phases.push(vec![ThreadBody::new(vec![Stmt::Read(x), Stmt::Write(x)])]);
+        p.phases
+            .push(vec![ThreadBody::new(vec![Stmt::Read(x), Stmt::Write(x)])]);
         assert_eq!(p.event_count(), 4);
     }
 
@@ -308,6 +323,9 @@ mod tests {
         b.worker(vec![]);
         let p = b.finish();
         assert_eq!(p.names.thread(velodrome_events::ThreadId::new(0)), "main");
-        assert_eq!(p.names.thread(velodrome_events::ThreadId::new(1)), "worker-1");
+        assert_eq!(
+            p.names.thread(velodrome_events::ThreadId::new(1)),
+            "worker-1"
+        );
     }
 }

@@ -102,7 +102,9 @@ fn elide_in(stmts: &[Stmt], remaining: &mut usize, hit: &mut bool) -> Vec<Stmt> 
 
 /// Yields every single-site elision mutant of the program.
 pub fn all_mutants(program: &Program) -> Vec<Program> {
-    (0..sync_sites(program)).filter_map(|site| elide_sync(program, site)).collect()
+    (0..sync_sites(program))
+        .filter_map(|site| elide_sync(program, site))
+        .collect()
 }
 
 #[cfg(test)]
@@ -119,7 +121,10 @@ mod tests {
             l,
             vec![Stmt::Sync(m, vec![Stmt::Read(x), Stmt::Write(x)])],
         )]);
-        b.worker(vec![Stmt::Loop(2, vec![Stmt::Sync(m, vec![Stmt::Write(x)])])]);
+        b.worker(vec![Stmt::Loop(
+            2,
+            vec![Stmt::Sync(m, vec![Stmt::Write(x)])],
+        )]);
         b.finish()
     }
 
@@ -130,7 +135,10 @@ mod tests {
         let mut b = ProgramBuilder::new();
         let x = b.var("x");
         let m = b.lock("m");
-        b.worker(vec![Stmt::Sync(m, vec![Stmt::Sync(m, vec![Stmt::Read(x)])])]);
+        b.worker(vec![Stmt::Sync(
+            m,
+            vec![Stmt::Sync(m, vec![Stmt::Read(x)])],
+        )]);
         assert_eq!(sync_sites(&b.finish()), 2, "nested sync counts both");
     }
 

@@ -22,7 +22,11 @@ pub struct ReplayScheduler {
 impl ReplayScheduler {
     /// Creates a replayer for the given recorded trace.
     pub fn new(recording: &Trace) -> Self {
-        Self { script: recording.ops().to_vec(), pos: 0, diverged: false }
+        Self {
+            script: recording.ops().to_vec(),
+            pos: 0,
+            diverged: false,
+        }
     }
 
     /// Whether the execution stopped matching the recording.
@@ -136,7 +140,12 @@ mod tests {
     fn replay_of_compute_heavy_program() {
         let mut b = ProgramBuilder::new();
         let x = b.var("x");
-        b.worker(vec![Stmt::Compute(5), Stmt::Write(x), Stmt::Compute(3), Stmt::Read(x)]);
+        b.worker(vec![
+            Stmt::Compute(5),
+            Stmt::Write(x),
+            Stmt::Compute(3),
+            Stmt::Read(x),
+        ]);
         b.worker(vec![Stmt::Compute(2), Stmt::Write(x)]);
         let p = b.finish();
         let original = run_program(&p, RandomScheduler::new(9));

@@ -82,7 +82,12 @@ impl Scheduler for RoundRobin {
             .enumerate()
             .filter(|(_, t)| t.raw() > self.last)
             .min_by_key(|(_, t)| t.raw())
-            .or_else(|| view.runnable.iter().enumerate().min_by_key(|(_, t)| t.raw()))
+            .or_else(|| {
+                view.runnable
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, t)| t.raw())
+            })
             .map(|(i, _)| i)
             .expect("pick called with runnable threads");
         self.last = view.runnable[chosen].raw();
@@ -100,7 +105,9 @@ pub struct RandomScheduler {
 impl RandomScheduler {
     /// Creates a random scheduler from a seed.
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed) }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -157,8 +164,9 @@ impl PctScheduler {
     /// the given bug depth (`depth >= 1`).
     pub fn new(seed: u64, max_steps: u64, depth: usize) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut change_points: Vec<u64> =
-            (1..depth).map(|_| rng.gen_range(0..max_steps.max(1))).collect();
+        let mut change_points: Vec<u64> = (1..depth)
+            .map(|_| rng.gen_range(0..max_steps.max(1)))
+            .collect();
         change_points.sort_unstable();
         Self {
             rng,
@@ -186,7 +194,11 @@ impl Scheduler for PctScheduler {
             .max_by_key(|&i| self.priority(view.runnable[i]))
             .expect("pick called with runnable threads");
         // Priority change point: demote the chosen thread below everyone.
-        if self.change_points.first().is_some_and(|&cp| view.step >= cp) {
+        if self
+            .change_points
+            .first()
+            .is_some_and(|&cp| view.step >= cp)
+        {
             self.change_points.remove(0);
             self.demotion_floor -= 1;
             let t = view.runnable[chosen];
@@ -229,7 +241,10 @@ pub struct ExemptThreads<A> {
 impl<A: PauseAdvisor> ExemptThreads<A> {
     /// Wraps `inner`; the listed threads are never paused.
     pub fn new(inner: A, exempt: impl IntoIterator<Item = ThreadId>) -> Self {
-        Self { inner, exempt: exempt.into_iter().collect() }
+        Self {
+            inner,
+            exempt: exempt.into_iter().collect(),
+        }
     }
 }
 
@@ -290,7 +305,8 @@ impl<A: PauseAdvisor, S: Scheduler> Scheduler for AdversarialScheduler<A, S> {
         for (i, &t) in view.runnable.iter().enumerate() {
             if let Some(op) = view.next_ops[i] {
                 if self.advisor.should_delay(t, op) {
-                    if !self.paused.contains_key(&t) && !self.served.get(&t).copied().unwrap_or(false)
+                    if !self.paused.contains_key(&t)
+                        && !self.served.get(&t).copied().unwrap_or(false)
                     {
                         self.paused.insert(t, view.step + self.pause_steps);
                         self.served.insert(t, true);
@@ -313,11 +329,13 @@ impl<A: PauseAdvisor, S: Scheduler> Scheduler for AdversarialScheduler<A, S> {
             self.paused.clear();
             return self.inner.pick(view);
         }
-        let filtered_ids: Vec<ThreadId> =
-            available.iter().map(|&i| view.runnable[i]).collect();
-        let filtered_ops: Vec<Option<Op>> =
-            available.iter().map(|&i| view.next_ops[i]).collect();
-        let sub = SchedView { runnable: &filtered_ids, next_ops: &filtered_ops, step: view.step };
+        let filtered_ids: Vec<ThreadId> = available.iter().map(|&i| view.runnable[i]).collect();
+        let filtered_ops: Vec<Option<Op>> = available.iter().map(|&i| view.next_ops[i]).collect();
+        let sub = SchedView {
+            runnable: &filtered_ids,
+            next_ops: &filtered_ops,
+            step: view.step,
+        };
         let choice = self.inner.pick(&sub).min(available.len() - 1);
         available[choice]
     }
@@ -333,12 +351,12 @@ mod tests {
     use super::*;
     use velodrome_events::VarId;
 
-    fn view<'a>(
-        runnable: &'a [ThreadId],
-        next_ops: &'a [Option<Op>],
-        step: u64,
-    ) -> SchedView<'a> {
-        SchedView { runnable, next_ops, step }
+    fn view<'a>(runnable: &'a [ThreadId], next_ops: &'a [Option<Op>], step: u64) -> SchedView<'a> {
+        SchedView {
+            runnable,
+            next_ops,
+            step,
+        }
     }
 
     fn t(i: u32) -> ThreadId {
@@ -371,7 +389,9 @@ mod tests {
         let ops = [None, None, None];
         let picks = |seed| {
             let mut s = RandomScheduler::new(seed);
-            (0..20).map(|i| s.pick(&view(&ids, &ops, i))).collect::<Vec<_>>()
+            (0..20)
+                .map(|i| s.pick(&view(&ids, &ops, i)))
+                .collect::<Vec<_>>()
         };
         assert_eq!(picks(7), picks(7));
         assert_ne!(picks(7), picks(8), "different seeds explore differently");
@@ -385,7 +405,11 @@ mod tests {
         assert_eq!(s.pick(&view(&ids, &ops, 0)), 0);
         assert_eq!(s.pick(&view(&ids, &ops, 1)), 0);
         let only_t1 = [t(1)];
-        assert_eq!(s.pick(&view(&only_t1, &[None], 2)), 0, "switches when blocked");
+        assert_eq!(
+            s.pick(&view(&only_t1, &[None], 2)),
+            0,
+            "switches when blocked"
+        );
         assert_eq!(s.pick(&view(&ids, &ops, 3)), 1, "then sticks to t1");
     }
 
@@ -413,7 +437,9 @@ mod tests {
         let ops = [None, None, None];
         let picks = |seed| {
             let mut s = PctScheduler::new(seed, 50, 3);
-            (0..30).map(|i| s.pick(&view(&ids, &ops, i))).collect::<Vec<_>>()
+            (0..30)
+                .map(|i| s.pick(&view(&ids, &ops, i)))
+                .collect::<Vec<_>>()
         };
         assert_eq!(picks(11), picks(11));
     }
@@ -430,8 +456,17 @@ mod tests {
     fn adversarial_pauses_flagged_thread() {
         let mut s = AdversarialScheduler::new(DelayT0, RoundRobin::new(), 10);
         let ids = [t(0), t(1)];
-        let w = Op::Write { t: t(0), x: VarId::new(0) };
-        let ops = [Some(w), Some(Op::Write { t: t(1), x: VarId::new(0) })];
+        let w = Op::Write {
+            t: t(0),
+            x: VarId::new(0),
+        };
+        let ops = [
+            Some(w),
+            Some(Op::Write {
+                t: t(1),
+                x: VarId::new(0),
+            }),
+        ];
         // While t0 is paused, t1 runs.
         for step in 0..5 {
             let i = s.pick(&view(&ids, &ops, step));
@@ -448,7 +483,10 @@ mod tests {
     fn adversarial_waives_when_all_paused() {
         let mut s = AdversarialScheduler::new(DelayT0, RoundRobin::new(), 1_000);
         let ids = [t(0)];
-        let ops = [Some(Op::Write { t: t(0), x: VarId::new(0) })];
+        let ops = [Some(Op::Write {
+            t: t(0),
+            x: VarId::new(0),
+        })];
         // t0 is the only runnable thread: pause must be waived.
         let i = s.pick(&view(&ids, &ops, 0));
         assert_eq!(i, 0);

@@ -7,6 +7,13 @@
 //! only for genuinely read-shared variables. The two detectors report
 //! exactly the same racy variables; the differential tests in the
 //! integration crate verify that.
+//!
+//! The same compression idiom — cache the one access that dominates the
+//! recent history and compare against it before doing full work — is reused
+//! by the core engine's happens-before hot path: `velodrome`'s per-thread
+//! epoch cache short-circuits edge insertions whose predecessor step was
+//! already a no-op for the current transaction, exactly as an [`Epoch`]
+//! short-circuits a full vector-clock comparison here.
 
 use crate::clock::VectorClock;
 use std::collections::{HashMap, HashSet};
@@ -24,7 +31,10 @@ pub struct Epoch {
 
 impl Epoch {
     /// The bottom epoch: happens-before everything.
-    pub const BOTTOM: Epoch = Epoch { t: ThreadId::new(0), c: 0 };
+    pub const BOTTOM: Epoch = Epoch {
+        t: ThreadId::new(0),
+        c: 0,
+    };
 
     /// Does this epoch happen-before (or equal) the clock `vc`?
     pub fn le(self, vc: &VectorClock) -> bool {
@@ -48,7 +58,10 @@ struct VarState {
 
 impl Default for VarState {
     fn default() -> Self {
-        Self { write: Epoch::BOTTOM, read: ReadState::Epoch(Epoch::BOTTOM) }
+        Self {
+            write: Epoch::BOTTOM,
+            read: ReadState::Epoch(Epoch::BOTTOM),
+        }
     }
 }
 
@@ -298,7 +311,10 @@ mod tests {
     fn epoch_bottom_precedes_everything() {
         let vc = VectorClock::new();
         assert!(Epoch::BOTTOM.le(&vc));
-        let e = Epoch { t: ThreadId::new(1), c: 3 };
+        let e = Epoch {
+            t: ThreadId::new(1),
+            c: 3,
+        };
         assert!(!e.le(&vc));
     }
 }

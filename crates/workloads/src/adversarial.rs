@@ -38,7 +38,11 @@ pub fn adversarial_scheduler(
     seed: u64,
     pause_steps: u64,
 ) -> AdversarialScheduler<AtomizerAdvisor, RandomScheduler> {
-    AdversarialScheduler::new(AtomizerAdvisor::new(), RandomScheduler::new(seed), pause_steps)
+    AdversarialScheduler::new(
+        AtomizerAdvisor::new(),
+        RandomScheduler::new(seed),
+        pause_steps,
+    )
 }
 
 /// Like [`adversarial_scheduler`], with an explicit pausing policy.
@@ -107,6 +111,9 @@ mod tests {
             hits_adversarial > hits_plain,
             "adversarial {hits_adversarial} should beat plain {hits_plain}"
         );
-        assert!(hits_adversarial >= 14, "pausing should catch most seeds: {hits_adversarial}");
+        assert!(
+            hits_adversarial >= 14,
+            "pausing should catch most seeds: {hits_adversarial}"
+        );
     }
 }

@@ -121,7 +121,12 @@ fn routine_methods(b: &mut ProgramBuilder, prefix: &str, worker: usize) -> Vec<S
             multi,
             vec![Stmt::Sync(
                 outer,
-                vec![Stmt::Read(a), Stmt::Write(a), Stmt::Read(idx), Stmt::Write(idx)],
+                vec![
+                    Stmt::Read(a),
+                    Stmt::Write(a),
+                    Stmt::Read(idx),
+                    Stmt::Write(idx),
+                ],
             )],
         ),
         read_only_method(
@@ -130,7 +135,10 @@ fn routine_methods(b: &mut ProgramBuilder, prefix: &str, worker: usize) -> Vec<S
             &[&format!("{prefix}_const_a"), &format!("{prefix}_const_b")],
         ),
         // Thread-local working set.
-        Stmt::Loop(2, vec![Stmt::Read(scratch), Stmt::Write(scratch), Stmt::Compute(1)]),
+        Stmt::Loop(
+            2,
+            vec![Stmt::Read(scratch), Stmt::Write(scratch), Stmt::Compute(1)],
+        ),
     ]
 }
 
@@ -182,7 +190,12 @@ pub fn elevator(scale: u32) -> Workload {
         paper_lines: 520,
         program: b.finish(),
         non_atomic: truth,
-        paper: PaperCounts { atomizer_real: 5, atomizer_false: 1, velodrome_found: 5, missed: 0 },
+        paper: PaperCounts {
+            atomizer_real: 5,
+            atomizer_false: 1,
+            velodrome_found: 5,
+            missed: 0,
+        },
     }
 }
 
@@ -205,7 +218,12 @@ pub fn hedc(scale: u32) -> Workload {
     for w in 0..3 {
         let mut body = Vec::new();
         for (name, lock) in defect_specs {
-            body.push(double_cs_method(&mut b, name, lock, &format!("{name}.state")));
+            body.push(double_cs_method(
+                &mut b,
+                name,
+                lock,
+                &format!("{name}.state"),
+            ));
         }
         body.push(locked_method(&mut b, "Log.append", "logLock", "log"));
         for fa in false_alarm_readers(&mut b, "hedc", 2) {
@@ -222,7 +240,12 @@ pub fn hedc(scale: u32) -> Workload {
         paper_lines: 6_400,
         program: b.finish(),
         non_atomic: truth,
-        paper: PaperCounts { atomizer_real: 6, atomizer_false: 2, velodrome_found: 6, missed: 0 },
+        paper: PaperCounts {
+            atomizer_real: 6,
+            atomizer_false: 2,
+            velodrome_found: 6,
+            missed: 0,
+        },
     }
 }
 
@@ -240,9 +263,19 @@ pub fn tsp(scale: u32) -> Workload {
             let label = format!("Tsp.updateMinTour_{i}");
             body.push(bare_rmw_method(&mut b, &label, &format!("minTour_{i}"), 2));
             let label2 = format!("Tsp.updateBound_{i}");
-            body.push(double_cs_method(&mut b, &label2, "tourLock", &format!("bound_{i}")));
+            body.push(double_cs_method(
+                &mut b,
+                &label2,
+                "tourLock",
+                &format!("bound_{i}"),
+            ));
         }
-        body.push(locked_method(&mut b, "Tsp.recordTour", "tourLock", "bestTour"));
+        body.push(locked_method(
+            &mut b,
+            "Tsp.recordTour",
+            "tourLock",
+            "bestTour",
+        ));
         b.worker(vec![Stmt::Loop(2 * scale, body)]);
     }
     for i in 0..4 {
@@ -256,7 +289,12 @@ pub fn tsp(scale: u32) -> Workload {
         paper_lines: 700,
         program: b.finish(),
         non_atomic: truth,
-        paper: PaperCounts { atomizer_real: 8, atomizer_false: 0, velodrome_found: 8, missed: 0 },
+        paper: PaperCounts {
+            atomizer_real: 8,
+            atomizer_false: 0,
+            velodrome_found: 8,
+            missed: 0,
+        },
     }
 }
 
@@ -270,13 +308,27 @@ pub fn sor(scale: u32) -> Workload {
     for phase in 0..2 {
         for w in 0..2 {
             let mut body = Vec::new();
-            body.push(unary_churn(&mut b, &format!("sor_p{phase}_rows_{w}"), 40 * scale));
+            body.push(unary_churn(
+                &mut b,
+                &format!("sor_p{phase}_rows_{w}"),
+                40 * scale,
+            ));
             if phase == 1 {
                 for i in 0..3 {
                     let label = format!("Sor.boundary_{i}");
-                    body.push(double_cs_method(&mut b, &label, "gridLock", &format!("edge_{i}")));
+                    body.push(double_cs_method(
+                        &mut b,
+                        &label,
+                        "gridLock",
+                        &format!("edge_{i}"),
+                    ));
                 }
-                body.push(locked_method(&mut b, "Sor.reduceResidual", "gridLock", "residual"));
+                body.push(locked_method(
+                    &mut b,
+                    "Sor.reduceResidual",
+                    "gridLock",
+                    "residual",
+                ));
             }
             b.worker(vec![Stmt::Loop(scale, body)]);
         }
@@ -294,7 +346,12 @@ pub fn sor(scale: u32) -> Workload {
         paper_lines: 690,
         program: b.finish(),
         non_atomic: truth,
-        paper: PaperCounts { atomizer_real: 3, atomizer_false: 0, velodrome_found: 3, missed: 0 },
+        paper: PaperCounts {
+            atomizer_real: 3,
+            atomizer_false: 0,
+            velodrome_found: 3,
+            missed: 0,
+        },
     }
 }
 
@@ -312,14 +369,29 @@ pub fn jbb(scale: u32) -> Workload {
         let mut body = Vec::new();
         for i in 0..3 {
             let label = format!("Warehouse.restock_{i}");
-            body.push(double_cs_method(&mut b, &label, "stockLock", &format!("stock_{i}")));
+            body.push(double_cs_method(
+                &mut b,
+                &label,
+                "stockLock",
+                &format!("stock_{i}"),
+            ));
         }
         for i in 0..2 {
             let label = format!("Order.bumpCount_{i}");
-            body.push(bare_rmw_method(&mut b, &label, &format!("orderCount_{i}"), 2));
+            body.push(bare_rmw_method(
+                &mut b,
+                &label,
+                &format!("orderCount_{i}"),
+                2,
+            ));
         }
         body.push(locked_method(&mut b, "District.pay", "districtLock", "ytd"));
-        body.push(locked_method(&mut b, "Customer.balance", "custLock", "balance"));
+        body.push(locked_method(
+            &mut b,
+            "Customer.balance",
+            "custLock",
+            "balance",
+        ));
         for fa in false_alarm_readers(&mut b, "jbb", 42) {
             body.push(fa);
         }
@@ -339,7 +411,12 @@ pub fn jbb(scale: u32) -> Workload {
         paper_lines: 36_000,
         program: b.finish(),
         non_atomic: truth,
-        paper: PaperCounts { atomizer_real: 5, atomizer_false: 42, velodrome_found: 5, missed: 0 },
+        paper: PaperCounts {
+            atomizer_real: 5,
+            atomizer_false: 42,
+            velodrome_found: 5,
+            missed: 0,
+        },
     }
 }
 
@@ -354,7 +431,11 @@ pub fn mtrt(scale: u32) -> Workload {
 
     for w in 0..2 {
         let mut body = Vec::new();
-        body.push(unary_churn(&mut b, &format!("mtrt_framebuf_{w}"), 40 * scale));
+        body.push(unary_churn(
+            &mut b,
+            &format!("mtrt_framebuf_{w}"),
+            40 * scale,
+        ));
         let pixel = bare_rmw_method(&mut b, "Scene.bumpPixelCount", "pixelCount", 2);
         let ray = double_cs_method(&mut b, "Scene.bumpRayCount", "rayLock", "rayCount");
         body.push(Stmt::Loop(4, vec![pixel, ray]));
@@ -372,7 +453,12 @@ pub fn mtrt(scale: u32) -> Workload {
         paper_lines: 11_000,
         program: b.finish(),
         non_atomic: truth,
-        paper: PaperCounts { atomizer_real: 2, atomizer_false: 27, velodrome_found: 2, missed: 0 },
+        paper: PaperCounts {
+            atomizer_real: 2,
+            atomizer_false: 27,
+            velodrome_found: 2,
+            missed: 0,
+        },
     }
 }
 
@@ -384,12 +470,26 @@ pub fn moldyn(scale: u32) -> Workload {
 
     for w in 0..2 {
         let mut body = Vec::new();
-        body.push(unary_churn(&mut b, &format!("moldyn_local_{w}"), 20 * scale));
+        body.push(unary_churn(
+            &mut b,
+            &format!("moldyn_local_{w}"),
+            20 * scale,
+        ));
         for i in 0..4 {
             let label = format!("Particle.accumulateForce_{i}");
-            body.push(double_cs_method(&mut b, &label, "forceLock", &format!("force_{i}")));
+            body.push(double_cs_method(
+                &mut b,
+                &label,
+                "forceLock",
+                &format!("force_{i}"),
+            ));
         }
-        body.push(locked_method(&mut b, "Particle.energy", "energyLock", "energy"));
+        body.push(locked_method(
+            &mut b,
+            "Particle.energy",
+            "energyLock",
+            "energy",
+        ));
         b.worker(vec![Stmt::Loop(2 * scale, body)]);
     }
     for i in 0..4 {
@@ -402,7 +502,12 @@ pub fn moldyn(scale: u32) -> Workload {
         paper_lines: 1_400,
         program: b.finish(),
         non_atomic: truth,
-        paper: PaperCounts { atomizer_real: 4, atomizer_false: 0, velodrome_found: 4, missed: 0 },
+        paper: PaperCounts {
+            atomizer_real: 4,
+            atomizer_false: 0,
+            velodrome_found: 4,
+            missed: 0,
+        },
     }
 }
 
@@ -416,9 +521,19 @@ pub fn montecarlo(scale: u32) -> Workload {
         body.push(unary_churn(&mut b, &format!("mc_paths_{w}"), 80 * scale));
         for i in 0..6 {
             let label = format!("MonteCarlo.pushResult_{i}");
-            body.push(double_cs_method(&mut b, &label, "resultLock", &format!("results_{i}")));
+            body.push(double_cs_method(
+                &mut b,
+                &label,
+                "resultLock",
+                &format!("results_{i}"),
+            ));
         }
-        body.push(locked_method(&mut b, "MonteCarlo.nextSeed", "seedLock", "seed"));
+        body.push(locked_method(
+            &mut b,
+            "MonteCarlo.nextSeed",
+            "seedLock",
+            "seed",
+        ));
         b.worker(vec![Stmt::Loop(2 * scale, body)]);
     }
     // Reduce phase: one worker folds per-path results into the summary
@@ -436,7 +551,10 @@ pub fn montecarlo(scale: u32) -> Workload {
     let l_reduce = b.label("MonteCarlo.reduce");
     // The reduce holds the result lock like the simulation workers did, so
     // the lockset-based baselines also see it as consistent.
-    b.worker(vec![Stmt::Atomic(l_reduce, vec![Stmt::Sync(result_lock, reduce)])]);
+    b.worker(vec![Stmt::Atomic(
+        l_reduce,
+        vec![Stmt::Sync(result_lock, reduce)],
+    )]);
     for i in 0..6 {
         truth.push(format!("MonteCarlo.pushResult_{i}"));
     }
@@ -447,7 +565,12 @@ pub fn montecarlo(scale: u32) -> Workload {
         paper_lines: 3_600,
         program: b.finish(),
         non_atomic: truth,
-        paper: PaperCounts { atomizer_real: 6, atomizer_false: 0, velodrome_found: 6, missed: 0 },
+        paper: PaperCounts {
+            atomizer_real: 6,
+            atomizer_false: 0,
+            velodrome_found: 6,
+            missed: 0,
+        },
     }
 }
 
@@ -487,7 +610,12 @@ pub fn raytracer(scale: u32) -> Workload {
         paper_lines: 18_000,
         program: b.finish(),
         non_atomic: truth,
-        paper: PaperCounts { atomizer_real: 2, atomizer_false: 3, velodrome_found: 1, missed: 1 },
+        paper: PaperCounts {
+            atomizer_real: 2,
+            atomizer_false: 3,
+            velodrome_found: 1,
+            missed: 1,
+        },
     }
 }
 
@@ -506,7 +634,12 @@ pub fn colt(scale: u32) -> Workload {
     let mut body1 = easy.clone();
     body1.extend(narrow.clone());
     body1.push(locked_method(&mut b, "Matrix.norm", "matrixLock", "norm"));
-    body1.push(locked_method(&mut b, "Matrix.scale", "matrixLock", "scaleFactor"));
+    body1.push(locked_method(
+        &mut b,
+        "Matrix.scale",
+        "matrixLock",
+        "scaleFactor",
+    ));
     body1.push(locked_method(&mut b, "Histogram.merge", "histLock", "bins"));
     for fa in false_alarm_readers(&mut b, "colt", 2) {
         body1.push(fa);
@@ -516,7 +649,12 @@ pub fn colt(scale: u32) -> Workload {
     let mut body2 = easy;
     body2.extend(partners);
     body2.push(locked_method(&mut b, "Matrix.norm", "matrixLock", "norm"));
-    body2.push(locked_method(&mut b, "Matrix.scale", "matrixLock", "scaleFactor"));
+    body2.push(locked_method(
+        &mut b,
+        "Matrix.scale",
+        "matrixLock",
+        "scaleFactor",
+    ));
     body2.push(locked_method(&mut b, "Histogram.merge", "histLock", "bins"));
     b.worker(vec![Stmt::Loop(scale, body2)]);
 
@@ -526,7 +664,12 @@ pub fn colt(scale: u32) -> Workload {
         paper_lines: 29_000,
         program: b.finish(),
         non_atomic: truth,
-        paper: PaperCounts { atomizer_real: 27, atomizer_false: 2, velodrome_found: 20, missed: 7 },
+        paper: PaperCounts {
+            atomizer_real: 27,
+            atomizer_false: 2,
+            velodrome_found: 20,
+            missed: 7,
+        },
     }
 }
 
@@ -568,7 +711,12 @@ pub fn philo(scale: u32) -> Workload {
         paper_lines: 84,
         program: b.finish(),
         non_atomic: truth,
-        paper: PaperCounts { atomizer_real: 2, atomizer_false: 0, velodrome_found: 2, missed: 0 },
+        paper: PaperCounts {
+            atomizer_real: 2,
+            atomizer_false: 0,
+            velodrome_found: 2,
+            missed: 0,
+        },
     }
 }
 
@@ -594,7 +742,12 @@ pub fn raja(scale: u32) -> Workload {
         paper_lines: 10_000,
         program: b.finish(),
         non_atomic: Vec::new(),
-        paper: PaperCounts { atomizer_real: 0, atomizer_false: 0, velodrome_found: 0, missed: 0 },
+        paper: PaperCounts {
+            atomizer_real: 0,
+            atomizer_false: 0,
+            velodrome_found: 0,
+            missed: 0,
+        },
     }
 }
 
@@ -604,7 +757,13 @@ pub fn multiset(scale: u32) -> Workload {
     let mut b = ProgramBuilder::new();
     let mut truth = Vec::new();
 
-    let methods = ["Multiset.add", "Multiset.remove", "Multiset.addIfAbsent", "Multiset.grow", "Multiset.clearAndCount"];
+    let methods = [
+        "Multiset.add",
+        "Multiset.remove",
+        "Multiset.addIfAbsent",
+        "Multiset.grow",
+        "Multiset.clearAndCount",
+    ];
     for _ in 0..2 {
         let mut body = vec![unary_churn(&mut b, "ms_scratch", 100 * scale)];
         for name in methods {
@@ -620,7 +779,12 @@ pub fn multiset(scale: u32) -> Workload {
         paper_lines: 300,
         program: b.finish(),
         non_atomic: truth,
-        paper: PaperCounts { atomizer_real: 5, atomizer_false: 0, velodrome_found: 5, missed: 0 },
+        paper: PaperCounts {
+            atomizer_real: 5,
+            atomizer_false: 0,
+            velodrome_found: 5,
+            missed: 0,
+        },
     }
 }
 
@@ -647,7 +811,12 @@ pub fn webl(scale: u32) -> Workload {
         if w == 1 {
             body.extend(partners.clone());
         }
-        body.push(locked_method(&mut b, "Crawler.frontier", "frontierLock", "frontier"));
+        body.push(locked_method(
+            &mut b,
+            "Crawler.frontier",
+            "frontierLock",
+            "frontier",
+        ));
         b.worker(vec![Stmt::Loop(scale, body)]);
     }
 
@@ -657,7 +826,12 @@ pub fn webl(scale: u32) -> Workload {
         paper_lines: 22_300,
         program: b.finish(),
         non_atomic: truth,
-        paper: PaperCounts { atomizer_real: 24, atomizer_false: 2, velodrome_found: 22, missed: 2 },
+        paper: PaperCounts {
+            atomizer_real: 24,
+            atomizer_false: 2,
+            velodrome_found: 22,
+            missed: 2,
+        },
     }
 }
 
@@ -684,7 +858,12 @@ pub fn jigsaw(scale: u32) -> Workload {
         if w == 1 {
             body.extend(partners.clone());
         }
-        body.push(locked_method(&mut b, "Logger.append", "logLock", "accessLog"));
+        body.push(locked_method(
+            &mut b,
+            "Logger.append",
+            "logLock",
+            "accessLog",
+        ));
         b.worker(vec![Stmt::Loop(scale, body)]);
     }
     // Acceptor thread: hands requests to the handlers through a correctly
@@ -702,6 +881,11 @@ pub fn jigsaw(scale: u32) -> Workload {
         paper_lines: 91_100,
         program: b.finish(),
         non_atomic: truth,
-        paper: PaperCounts { atomizer_real: 55, atomizer_false: 5, velodrome_found: 44, missed: 11 },
+        paper: PaperCounts {
+            atomizer_real: 55,
+            atomizer_false: 5,
+            velodrome_found: 44,
+            missed: 11,
+        },
     }
 }

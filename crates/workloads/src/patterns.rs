@@ -40,7 +40,7 @@ pub fn double_cs_method(b: &mut ProgramBuilder, label: &str, lock: &str, var: &s
     Stmt::Atomic(
         l,
         vec![
-            Stmt::Sync(m, vec![Stmt::Read(x)]),          // contains
+            Stmt::Sync(m, vec![Stmt::Read(x)]),                 // contains
             Stmt::Sync(m, vec![Stmt::Read(x), Stmt::Write(x)]), // add
         ],
     )
@@ -132,7 +132,10 @@ mod tests {
     use velodrome_monitor::run_tool;
     use velodrome_sim::{run_program, RandomScheduler, RoundRobin};
 
-    fn contended(stmt_for: impl Fn(&mut ProgramBuilder) -> Stmt, iters: u32) -> velodrome_sim::Program {
+    fn contended(
+        stmt_for: impl Fn(&mut ProgramBuilder) -> Stmt,
+        iters: u32,
+    ) -> velodrome_sim::Program {
         let mut b = ProgramBuilder::new();
         let s1 = stmt_for(&mut b);
         let s2 = stmt_for(&mut b);
@@ -185,7 +188,10 @@ mod tests {
             );
             let mut a = Atomizer::new();
             let atomizer = run_tool(&mut a, &trace);
-            assert!(!atomizer.is_empty(), "Atomizer false alarm expected (seed {seed})");
+            assert!(
+                !atomizer.is_empty(),
+                "Atomizer false alarm expected (seed {seed})"
+            );
         }
     }
 

@@ -40,7 +40,17 @@ fn unary_heavy_benchmarks_are_mostly_non_transactional() {
 
 #[test]
 fn phased_benchmarks_have_initialization_phases() {
-    for name in ["jbb", "mtrt", "sor", "elevator", "hedc", "colt", "webl", "jigsaw", "raytracer"] {
+    for name in [
+        "jbb",
+        "mtrt",
+        "sor",
+        "elevator",
+        "hedc",
+        "colt",
+        "webl",
+        "jigsaw",
+        "raytracer",
+    ] {
         let w = velodrome_workloads::build(name, 1).unwrap();
         assert!(
             w.program.phases.len() >= 2,
@@ -70,7 +80,11 @@ fn every_model_has_clean_methods_too() {
                 _ => None,
             })
             .collect();
-        assert!(!clean.is_empty(), "{} has no correct atomic methods", w.name);
+        assert!(
+            !clean.is_empty(),
+            "{} has no correct atomic methods",
+            w.name
+        );
     }
 }
 
@@ -96,11 +110,20 @@ fn paper_counts_are_internally_consistent() {
 #[test]
 fn trace_sizes_scale_roughly_linearly() {
     for name in ["jigsaw", "montecarlo"] {
-        let t1 = velodrome_workloads::build(name, 1).unwrap().run_round_robin().len() as f64;
-        let t4 = velodrome_workloads::build(name, 4).unwrap().run_round_robin().len() as f64;
+        let t1 = velodrome_workloads::build(name, 1)
+            .unwrap()
+            .run_round_robin()
+            .len() as f64;
+        let t4 = velodrome_workloads::build(name, 4)
+            .unwrap()
+            .run_round_robin()
+            .len() as f64;
         let ratio = t4 / t1;
         // Loop counts and per-iteration churn both scale, so growth is
         // between linear and quadratic in the scale factor.
-        assert!((3.0..=16.0).contains(&ratio), "{name}: scale ratio {ratio:.1}");
+        assert!(
+            (3.0..=16.0).contains(&ratio),
+            "{name}: scale ratio {ratio:.1}"
+        );
     }
 }

@@ -37,15 +37,25 @@ fn main() {
 
     let mut demonstrated = false;
     for site in 0..sites {
-        let Some(mutant) = mutate::elide_sync(&workload.program, site) else { continue };
+        let Some(mutant) = mutate::elide_sync(&workload.program, site) else {
+            continue;
+        };
         let (mut plain_hits, mut adv_hits) = (0, 0);
         for seed in 0..seeds {
             let plain = run_program(&mutant, RandomScheduler::new(seed));
-            if velodrome_labels(&plain.trace).difference(&baseline).next().is_some() {
+            if velodrome_labels(&plain.trace)
+                .difference(&baseline)
+                .next()
+                .is_some()
+            {
                 plain_hits += 1;
             }
             let adv = run_program(&mutant, adversarial_scheduler(seed, 400));
-            if velodrome_labels(&adv.trace).difference(&baseline).next().is_some() {
+            if velodrome_labels(&adv.trace)
+                .difference(&baseline)
+                .next()
+                .is_some()
+            {
                 adv_hits += 1;
             }
         }
@@ -57,7 +67,10 @@ fn main() {
             demonstrated = true;
         }
     }
-    assert!(demonstrated, "adversarial scheduling should beat plain on some site");
+    assert!(
+        demonstrated,
+        "adversarial scheduling should beat plain on some site"
+    );
     println!(
         "\n=> pausing a thread at an Atomizer-suspected commit point lets other \
          threads supply the conflicting writes Velodrome needs as a witness."

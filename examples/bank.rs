@@ -14,7 +14,11 @@ fn bank_program(fixed: bool) -> Program {
     let to = b.var("account.to");
     let audit = b.var("auditLog");
     let m = b.lock("bankLock");
-    let transfer = b.label(if fixed { "Account.transfer_fixed" } else { "Account.transfer" });
+    let transfer = b.label(if fixed {
+        "Account.transfer_fixed"
+    } else {
+        "Account.transfer"
+    });
     let audit_l = b.label("Bank.audit");
 
     let body = if fixed {
@@ -23,7 +27,12 @@ fn bank_program(fixed: bool) -> Program {
             transfer,
             vec![Stmt::Sync(
                 m,
-                vec![Stmt::Read(from), Stmt::Read(to), Stmt::Write(from), Stmt::Write(to)],
+                vec![
+                    Stmt::Read(from),
+                    Stmt::Read(to),
+                    Stmt::Write(from),
+                    Stmt::Write(to),
+                ],
             )],
         )]
     } else {
@@ -39,7 +48,10 @@ fn bank_program(fixed: bool) -> Program {
     };
     let audit_stmt = Stmt::Atomic(
         audit_l,
-        vec![Stmt::Sync(m, vec![Stmt::Read(from), Stmt::Read(to), Stmt::Write(audit)])],
+        vec![Stmt::Sync(
+            m,
+            vec![Stmt::Read(from), Stmt::Read(to), Stmt::Write(audit)],
+        )],
     );
     for _ in 0..2 {
         let mut stmts = Vec::new();
@@ -77,7 +89,10 @@ fn main() {
     for seed in 0..5 {
         let result = run_program(&fixed, RandomScheduler::new(seed));
         let warnings = check_trace(&result.trace);
-        assert!(warnings.is_empty(), "fixed version must be atomic (seed {seed})");
+        assert!(
+            warnings.is_empty(),
+            "fixed version must be atomic (seed {seed})"
+        );
     }
     println!("no warnings in 5/5 seeded executions — transfer is atomic");
 }

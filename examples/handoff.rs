@@ -53,9 +53,18 @@ fn main() {
     }
 
     let eraser = run_tool(&mut Eraser::new(), &trace);
-    println!("Eraser warnings:    {} (flag-based sync looks racy to a lockset)", eraser.len());
+    println!(
+        "Eraser warnings:    {} (flag-based sync looks racy to a lockset)",
+        eraser.len()
+    );
 
-    assert!(velodrome.is_empty(), "Velodrome is complete: no false alarms");
-    assert!(!atomizer.is_empty(), "the Atomizer cannot understand the handoff");
+    assert!(
+        velodrome.is_empty(),
+        "Velodrome is complete: no false alarms"
+    );
+    assert!(
+        !atomizer.is_empty(),
+        "the Atomizer cannot understand the handoff"
+    );
     println!("\n=> the trace is serializable; only Velodrome gets it right.");
 }

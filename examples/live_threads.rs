@@ -11,9 +11,9 @@
 //! Run: `cargo run -p velodrome-examples --bin live_threads`
 
 use velodrome::{Velodrome, VelodromeConfig};
+use velodrome_events::Trace;
 use velodrome_monitor::shim::Runtime;
 use velodrome_monitor::Warning;
-use velodrome_events::Trace;
 
 fn run_once() -> (Trace, Vec<Warning>) {
     let rt = Runtime::online(Velodrome::with_config(VelodromeConfig::default()));
@@ -79,7 +79,10 @@ fn main() {
             println!("  audit_and_adjust is not atomic (check-then-act across two lock regions)");
             return;
         }
-        println!("attempt {attempt}: {} events, interleaving was serializable", trace.len());
+        println!(
+            "attempt {attempt}: {} events, interleaving was serializable",
+            trace.len()
+        );
     }
     println!("no violating interleaving in {attempts} attempts (unusually lucky scheduling)");
 }

@@ -19,16 +19,24 @@ fn main() {
 
     // Thread 1 checks membership...
     b.begin("T1", "Set.add");
-    b.acquire("T1", "this").read("T1", "elems").release("T1", "this");
+    b.acquire("T1", "this")
+        .read("T1", "elems")
+        .release("T1", "this");
 
     // ...thread 2 performs its whole add in between...
     b.begin("T2", "Set.add");
-    b.acquire("T2", "this").read("T2", "elems").release("T2", "this");
-    b.acquire("T2", "this").read("T2", "elems").write("T2", "elems");
+    b.acquire("T2", "this")
+        .read("T2", "elems")
+        .release("T2", "this");
+    b.acquire("T2", "this")
+        .read("T2", "elems")
+        .write("T2", "elems");
     b.release("T2", "this").end("T2");
 
     // ...and thread 1 adds based on its stale check.
-    b.acquire("T1", "this").read("T1", "elems").write("T1", "elems");
+    b.acquire("T1", "this")
+        .read("T1", "elems")
+        .write("T1", "elems");
     b.release("T1", "this").end("T1");
 
     let trace = b.finish();
@@ -39,7 +47,10 @@ fn main() {
     println!("offline oracle: serializable = {}", verdict.serializable);
 
     // Run the online Velodrome analysis.
-    let cfg = VelodromeConfig { names: trace.names().clone(), ..VelodromeConfig::default() };
+    let cfg = VelodromeConfig {
+        names: trace.names().clone(),
+        ..VelodromeConfig::default()
+    };
     let (warnings, engine) = check_trace_with(&trace, cfg);
     for w in &warnings {
         println!("\nWarning: {}", w.message);
@@ -52,5 +63,9 @@ fn main() {
         "engine stats: {} ops, {} nodes allocated, {} max alive, {} cycles detected",
         stats.ops, stats.nodes_allocated, stats.max_alive, stats.cycles_detected
     );
-    assert_eq!(warnings.len(), 1, "exactly one atomicity violation expected");
+    assert_eq!(
+        warnings.len(),
+        1,
+        "exactly one atomicity violation expected"
+    );
 }

@@ -20,8 +20,10 @@ fn main() {
     let mut refuted = HashSet::new();
     for seed in 0..5 {
         let trace = workload.run(seed);
-        let cfg =
-            VelodromeConfig { names: trace.names().clone(), ..VelodromeConfig::default() };
+        let cfg = VelodromeConfig {
+            names: trace.names().clone(),
+            ..VelodromeConfig::default()
+        };
         let (warnings, _) = check_trace_with(&trace, cfg);
         for w in &warnings {
             let label = w.label.expect("atomicity warnings carry labels");
@@ -37,7 +39,10 @@ fn main() {
     // Phase 2: exclude the refuted methods and re-check the rest.
     let trace = workload.run(7);
     let spec = AtomicitySpec::excluding(refuted.iter().copied());
-    let cfg = VelodromeConfig { names: trace.names().clone(), ..VelodromeConfig::default() };
+    let cfg = VelodromeConfig {
+        names: trace.names().clone(),
+        ..VelodromeConfig::default()
+    };
     let mut tool = SpecFilter::new(spec, Velodrome::with_config(cfg));
     let warnings = run_tool(&mut tool, &trace);
     let stats = tool.inner().stats();

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints (warnings are errors, including
+# missing docs on public items), and the full test suite.
+#
+# Usage: scripts/ci-gate.sh [--with-bench]
+#   --with-bench  also run the hotpath benchmark binary, which asserts
+#                 optimized/baseline output identity and the >=30%
+#                 edge-reduction floor, and rewrites BENCH_hotpath.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test -q
+
+if [[ "${1:-}" == "--with-bench" ]]; then
+    echo "==> hotpath benchmark (asserts output identity + elision floor)"
+    cargo run --release -p velodrome-bench --bin hotpath >/dev/null
+fi
+
+echo "==> CI gate passed"

@@ -8,7 +8,7 @@
 //! traces.
 
 use velodrome::{check_trace_with, VelodromeConfig};
-use velodrome_events::{oracle, Transactions, Trace, TxnId};
+use velodrome_events::{oracle, Trace, Transactions, TxnId};
 use velodrome_sim::{random_program, run_program, GenConfig, RandomScheduler};
 
 /// Maps a Velodrome cycle report back to the trace's transaction id via the
@@ -41,26 +41,30 @@ fn increasing_cycles_blame_non_self_serializable_transactions() {
         let trace = result.trace;
         let (_, engine) = check_trace_with(
             &trace,
-            VelodromeConfig { dedup_per_label: false, ..VelodromeConfig::default() },
+            VelodromeConfig {
+                dedup_per_label: false,
+                ..VelodromeConfig::default()
+            },
         );
         for report in engine.reports() {
             if report.blamed.is_none() {
                 continue;
             }
             let txn = blamed_txn(&trace, report);
-            match oracle::self_serializable(&trace, txn, 1_000_000) {
-                Ok(selfser) => {
-                    checked += 1;
-                    assert!(
-                        !selfser,
-                        "seed {seed}: blamed {txn} IS self-serializable in:\n{trace}"
-                    );
-                }
-                Err(_) => {} // search budget exceeded: skip
+            // Err means the search budget was exceeded: skip.
+            if let Ok(selfser) = oracle::self_serializable(&trace, txn, 1_000_000) {
+                checked += 1;
+                assert!(
+                    !selfser,
+                    "seed {seed}: blamed {txn} IS self-serializable in:\n{trace}"
+                );
             }
         }
     }
-    assert!(checked >= 5, "expected at least a few blamed cycles, checked {checked}");
+    assert!(
+        checked >= 5,
+        "expected at least a few blamed cycles, checked {checked}"
+    );
 }
 
 /// On the paper's nested-block example, the refuted blocks (`p`, `q`) are
@@ -71,21 +75,35 @@ fn refuted_blocks_contain_root_and_target() {
     let mut b = TraceBuilder::new();
     b.begin("T1", "p").begin("T1", "q").read("T1", "x");
     b.write("T2", "x");
-    b.begin("T1", "r").write("T1", "x").end("T1").end("T1").end("T1");
+    b.begin("T1", "r")
+        .write("T1", "x")
+        .end("T1")
+        .end("T1")
+        .end("T1");
     let trace = b.finish();
-    let cfg = VelodromeConfig { names: trace.names().clone(), ..VelodromeConfig::default() };
+    let cfg = VelodromeConfig {
+        names: trace.names().clone(),
+        ..VelodromeConfig::default()
+    };
     let (_, engine) = check_trace_with(&trace, cfg);
     let report = &engine.reports()[0];
     // The refuted set excludes `r`, whose begin comes after the cycle root.
-    let names: Vec<String> =
-        report.refuted.iter().map(|&l| trace.names().label(l)).collect();
+    let names: Vec<String> = report
+        .refuted
+        .iter()
+        .map(|&l| trace.names().label(l))
+        .collect();
     assert_eq!(names, vec!["p", "q"]);
     // Root and target operations live in the blamed transaction.
     assert_eq!(report.blamed, Some(0));
     let txns = Transactions::segment(&trace);
     let blamed = txns.txn_of(report.nodes[0].first_op);
     let closing = report.edges.last().unwrap();
-    assert_eq!(txns.txn_of(closing.op_index), blamed, "target op inside blamed txn");
+    assert_eq!(
+        txns.txn_of(closing.op_index),
+        blamed,
+        "target op inside blamed txn"
+    );
 }
 
 /// Every reported cycle is structurally well-formed: as many edges as
@@ -103,7 +121,10 @@ fn cycle_reports_are_structurally_consistent() {
         }
         let (_, engine) = check_trace_with(
             &result.trace,
-            VelodromeConfig { dedup_per_label: false, ..VelodromeConfig::default() },
+            VelodromeConfig {
+                dedup_per_label: false,
+                ..VelodromeConfig::default()
+            },
         );
         for report in engine.reports() {
             reports_seen += 1;
@@ -119,5 +140,8 @@ fn cycle_reports_are_structurally_consistent() {
             }
         }
     }
-    assert!(reports_seen >= 20, "expected plenty of cycles, saw {reports_seen}");
+    assert!(
+        reports_seen >= 20,
+        "expected plenty of cycles, saw {reports_seen}"
+    );
 }

@@ -15,7 +15,10 @@ use velodrome_events::{oracle, semantics, Trace};
 use velodrome_sim::{random_program, run_program, GenConfig, RandomScheduler, RoundRobin};
 
 fn velodrome_verdict(trace: &Trace, merge: bool) -> bool {
-    let cfg = VelodromeConfig { merge, ..VelodromeConfig::default() };
+    let cfg = VelodromeConfig {
+        merge,
+        ..VelodromeConfig::default()
+    };
     let (warnings, engine) = check_trace_with(trace, cfg);
     let non_serializable = engine.stats().cycles_detected > 0;
     assert_eq!(
@@ -28,7 +31,11 @@ fn velodrome_verdict(trace: &Trace, merge: bool) -> bool {
 }
 
 fn assert_agreement(trace: &Trace, context: &str) {
-    assert_eq!(semantics::validate(trace), Ok(()), "{context}: ill-formed trace");
+    assert_eq!(
+        semantics::validate(trace),
+        Ok(()),
+        "{context}: ill-formed trace"
+    );
     let expected = !oracle::is_serializable(trace);
     let optimized = velodrome_verdict(trace, true);
     let basic = velodrome_verdict(trace, false);
@@ -57,7 +64,12 @@ fn seeded_programs_random_schedules() {
 
 #[test]
 fn seeded_programs_round_robin() {
-    let cfg = GenConfig { threads: 2, vars: 2, locks: 1, ..GenConfig::default() };
+    let cfg = GenConfig {
+        threads: 2,
+        vars: 2,
+        locks: 1,
+        ..GenConfig::default()
+    };
     for seed in 0..100u64 {
         let program = random_program(&cfg, seed);
         let result = run_program(&program, RoundRobin::new());
@@ -93,7 +105,12 @@ fn high_contention_programs() {
 #[test]
 fn verdict_invariant_under_commuting_swaps() {
     use rand::{Rng, SeedableRng};
-    let cfg = GenConfig { threads: 3, vars: 2, locks: 1, ..GenConfig::default() };
+    let cfg = GenConfig {
+        threads: 3,
+        vars: 2,
+        locks: 1,
+        ..GenConfig::default()
+    };
     for seed in 0..40u64 {
         let program = random_program(&cfg, seed);
         let result = run_program(&program, RandomScheduler::new(seed));
@@ -116,7 +133,11 @@ fn verdict_invariant_under_commuting_swaps() {
         }
         let mut swapped = Trace::from_ops(ops);
         *swapped.names_mut() = base.names().clone();
-        assert_eq!(semantics::validate(&swapped), Ok(()), "swaps preserve well-formedness");
+        assert_eq!(
+            semantics::validate(&swapped),
+            Ok(()),
+            "swaps preserve well-formedness"
+        );
         assert_eq!(
             !oracle::is_serializable(&swapped),
             expected,

@@ -12,8 +12,7 @@ use velodrome::{check_trace_with, VelodromeConfig};
 use velodrome_events::oracle;
 use velodrome_sim::{explore, ExploreLimits, Program, ProgramBuilder, Stmt};
 use velodrome_workloads::patterns::{
-    bare_rmw_method, double_cs_method, locked_method, ordered_racy_reader,
-    shared_modified_setup,
+    bare_rmw_method, double_cs_method, locked_method, ordered_racy_reader, shared_modified_setup,
 };
 
 fn contended(build: impl Fn(&mut ProgramBuilder) -> Stmt) -> Program {
@@ -71,7 +70,10 @@ fn ordered_racy_reader_has_no_violating_schedule() {
     b.worker(vec![r2]);
     let p = b.finish();
     let (violating, total) = violating_schedules(&p);
-    assert_eq!(violating, 0, "genuinely atomic across all {total} schedules");
+    assert_eq!(
+        violating, 0,
+        "genuinely atomic across all {total} schedules"
+    );
     assert!(total > 20);
 }
 

@@ -7,11 +7,14 @@ use velodrome_atomizer::Atomizer;
 use velodrome_events::Trace;
 use velodrome_lockset::Eraser;
 use velodrome_monitor::{run_tool, AtomicitySpec, SpecFilter, ToolChain, WarningCategory};
-use velodrome_workloads::adversarial::adversarial_scheduler;
 use velodrome_sim::run_program;
+use velodrome_workloads::adversarial::adversarial_scheduler;
 
 fn velodrome_with_names(trace: &Trace) -> Vec<velodrome_monitor::Warning> {
-    let cfg = VelodromeConfig { names: trace.names().clone(), ..VelodromeConfig::default() };
+    let cfg = VelodromeConfig {
+        names: trace.names().clone(),
+        ..VelodromeConfig::default()
+    };
     let mut v = Velodrome::with_config(cfg);
     run_tool(&mut v, trace)
 }
@@ -120,12 +123,18 @@ fn jigsaw_scales_with_bounded_live_nodes() {
     let w = velodrome_workloads::build("jigsaw", 3).unwrap();
     let trace = w.run_round_robin();
     assert!(trace.len() > 5_000);
-    let cfg = VelodromeConfig { names: trace.names().clone(), ..VelodromeConfig::default() };
+    let cfg = VelodromeConfig {
+        names: trace.names().clone(),
+        ..VelodromeConfig::default()
+    };
     let mut engine = Velodrome::with_config(cfg);
     let _ = run_tool(&mut engine, &trace);
     let stats = engine.stats();
     assert!(stats.max_alive <= 64, "max alive {}", stats.max_alive);
-    assert!(stats.nodes_allocated < trace.len() as u64, "allocations bounded by events");
+    assert!(
+        stats.nodes_allocated < trace.len() as u64,
+        "allocations bounded by events"
+    );
 }
 
 /// Velodrome's subsequence property (Section 6): warnings found on a trace
@@ -149,11 +158,13 @@ fn subsequence_warnings_remain_valid() {
             partial.push(op);
         }
     }
-    let _ = match (oracle::is_serializable(&partial), oracle::is_serializable(&full)) {
-        // If the subsequence is non-serializable, the full trace must be too.
-        (false, full_ok) => assert!(!full_ok, "subsequence property violated"),
-        _ => {}
-    };
+    // If the subsequence is non-serializable, the full trace must be too.
+    if !oracle::is_serializable(&partial) {
+        assert!(
+            !oracle::is_serializable(&full),
+            "subsequence property violated"
+        );
+    }
     // And Velodrome on the subsequence only reports genuinely non-atomic
     // methods of the full program.
     for warning in velodrome_with_names(&partial) {

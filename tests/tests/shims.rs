@@ -3,9 +3,9 @@
 
 use std::sync::atomic::{AtomicI64, Ordering};
 use velodrome::{check_trace, Velodrome};
+use velodrome_events::semantics;
 use velodrome_monitor::shim::Runtime;
 use velodrome_monitor::{ReentrantLockFilter, ThreadLocalFilter};
-use velodrome_events::semantics;
 
 /// Four real threads under a correct locking discipline: the trace is
 /// well-formed, the data is consistent, and Velodrome stays silent.
@@ -115,8 +115,7 @@ fn filter_stack_preserves_verdicts() {
     rt.join(tok);
     let (trace, _) = rt.finish();
 
-    let mut stack =
-        ReentrantLockFilter::new(ThreadLocalFilter::new(Velodrome::new()));
+    let mut stack = ReentrantLockFilter::new(ThreadLocalFilter::new(Velodrome::new()));
     let warnings = velodrome_monitor::run_tool(&mut stack, &trace);
     assert!(warnings.is_empty(), "{warnings:?}");
 }

@@ -1,0 +1,382 @@
+//! Vendored stand-in for `serde_derive`, written against the vendored
+//! `serde` crate's value-based data model (no `syn`/`quote`: the container
+//! registry is unreachable in this build environment, so the derive parses
+//! the item token stream by hand).
+//!
+//! Supported shapes — exactly what this workspace uses:
+//!
+//! * non-generic structs with named fields;
+//! * non-generic tuple structs with a single field (newtypes), with or
+//!   without `#[serde(transparent)]`;
+//! * non-generic enums with unit and struct variants, externally tagged,
+//!   honoring `#[serde(rename_all = "snake_case")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render_serialize(&item)
+        .parse()
+        .expect("derive(Serialize) emitted invalid Rust")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render_deserialize(&item)
+        .parse()
+        .expect("derive(Deserialize) emitted invalid Rust")
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum RenameAll {
+    None,
+    SnakeCase,
+    Lowercase,
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(fields)` for struct variants.
+    fields: Option<Vec<String>>,
+}
+
+enum Shape {
+    /// Named fields, in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct with this many fields (only 1 is supported).
+    Newtype,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+    rename_all: RenameAll,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut rename_all = RenameAll::None;
+    let mut i = 0;
+
+    // Scan container attributes and locate the `struct`/`enum` keyword.
+    let mut kind = None;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    scan_serde_attr(&g.stream(), &mut rename_all);
+                    i += 2;
+                    continue;
+                }
+                i += 1;
+            }
+            TokenTree::Ident(id)
+                if {
+                    let id = id.to_string();
+                    id == "struct" || id == "enum"
+                } =>
+            {
+                kind = Some(id.to_string());
+                i += 1;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    let kind = kind.expect("derive input has no struct/enum keyword");
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name after `{kind}`, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive(Serialize/Deserialize) stand-in does not support generics on `{name}`");
+    }
+
+    // Find the body group (skipping `where` clauses, which we don't emit).
+    let body = tokens[i..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g)
+                if g.delimiter() == Delimiter::Brace || g.delimiter() == Delimiter::Parenthesis =>
+            {
+                Some(g.clone())
+            }
+            _ => None,
+        })
+        .expect("derive input has no body");
+
+    let shape = if kind == "struct" {
+        match body.delimiter() {
+            Delimiter::Parenthesis => {
+                let fields = split_top_level(body.stream());
+                assert!(
+                    fields.len() == 1,
+                    "tuple struct `{name}` has {} fields; only newtypes are supported",
+                    fields.len()
+                );
+                Shape::Newtype
+            }
+            _ => Shape::Struct(parse_named_fields(body.stream())),
+        }
+    } else {
+        Shape::Enum(parse_variants(body.stream()))
+    };
+    Item {
+        name,
+        shape,
+        rename_all,
+    }
+}
+
+/// Inspects one outer attribute's bracket group for `serde(...)` options.
+fn scan_serde_attr(stream: &TokenStream, rename_all: &mut RenameAll) {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let [TokenTree::Ident(id), TokenTree::Group(args)] = &tokens[..] else {
+        return;
+    };
+    if id.to_string() != "serde" {
+        return;
+    }
+    let text = args.stream().to_string();
+    if text.contains("snake_case") {
+        *rename_all = RenameAll::SnakeCase;
+    } else if text.contains("lowercase") {
+        *rename_all = RenameAll::Lowercase;
+    }
+    // `transparent` needs no action: newtypes already serialize as their
+    // inner value in this data model.
+}
+
+/// Splits a token stream on top-level commas (groups nest automatically;
+/// `<`/`>` depth is tracked for generic argument lists in field types).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut parts = vec![Vec::new()];
+    let mut angle = 0i32;
+    for t in stream {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    parts.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        parts.last_mut().unwrap().push(t);
+    }
+    if parts.last().is_some_and(Vec::is_empty) {
+        parts.pop();
+    }
+    parts
+}
+
+/// Extracts field names from a named-field body: for each comma-separated
+/// field, the identifier immediately before the first top-level `:`.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|field| {
+            let mut name = None;
+            for (k, t) in field.iter().enumerate() {
+                if let TokenTree::Punct(p) = t {
+                    if p.as_char() == ':' {
+                        if let Some(TokenTree::Ident(id)) = field.get(k.wrapping_sub(1)) {
+                            name = Some(id.to_string());
+                        }
+                        break;
+                    }
+                }
+            }
+            name.expect("field without a name")
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|var| {
+            let mut name = None;
+            let mut fields = None;
+            let mut iter = var.into_iter().peekable();
+            while let Some(t) = iter.next() {
+                match t {
+                    TokenTree::Punct(p) if p.as_char() == '#' => {
+                        iter.next(); // skip the attribute group
+                    }
+                    TokenTree::Ident(id) => {
+                        name = Some(id.to_string());
+                        if let Some(TokenTree::Group(g)) = iter.peek() {
+                            match g.delimiter() {
+                                Delimiter::Brace => {
+                                    fields = Some(parse_named_fields(g.stream()));
+                                }
+                                Delimiter::Parenthesis => {
+                                    panic!("tuple enum variants are not supported");
+                                }
+                                _ => {}
+                            }
+                        }
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            Variant {
+                name: name.expect("variant without a name"),
+                fields,
+            }
+        })
+        .collect()
+}
+
+fn rename(name: &str, rule: RenameAll) -> String {
+    match rule {
+        RenameAll::None => name.to_owned(),
+        RenameAll::Lowercase => name.to_lowercase(),
+        RenameAll::SnakeCase => {
+            let mut out = String::new();
+            for (i, c) in name.chars().enumerate() {
+                if c.is_uppercase() {
+                    if i > 0 {
+                        out.push('_');
+                    }
+                    out.extend(c.to_lowercase());
+                } else {
+                    out.push(c);
+                }
+            }
+            out
+        }
+    }
+}
+
+fn render_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Newtype => "::serde::Serialize::serialize_value(&self.0)".to_owned(),
+        Shape::Struct(fields) => {
+            let mut s = String::from("{ let mut __m = ::serde::value::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "__m.insert(\"{f}\".to_owned(), ::serde::Serialize::serialize_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(__m) }");
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let tag = rename(&v.name, item.rename_all);
+                match &v.fields {
+                    None => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(\"{tag}\".to_owned()),\n",
+                        v = v.name
+                    )),
+                    Some(fields) => {
+                        let pats = fields.join(", ");
+                        let mut inner =
+                            String::from("{ let mut __f = ::serde::value::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__f.insert(\"{f}\".to_owned(), ::serde::Serialize::serialize_value({f}));\n"
+                            ));
+                        }
+                        inner.push_str(&format!(
+                            "let mut __m = ::serde::value::Map::new();\n\
+                             __m.insert(\"{tag}\".to_owned(), ::serde::Value::Object(__f));\n\
+                             ::serde::Value::Object(__m) }}"
+                        ));
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {pats} }} => {inner},\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn render_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Newtype => format!("Ok({name}(::serde::Deserialize::deserialize_value(__v)?))"),
+        Shape::Struct(fields) => {
+            let mut s = format!(
+                "let __obj = __v.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected an object for `{name}`\"))?;\n"
+            );
+            s.push_str(&format!("Ok({name} {{\n"));
+            for f in fields {
+                s.push_str(&format!(
+                    "{f}: ::serde::Deserialize::deserialize_value(\
+                     __obj.get(\"{f}\").unwrap_or(&::serde::Value::Null))?,\n"
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let tag = rename(&v.name, item.rename_all);
+                match &v.fields {
+                    None => unit_arms.push_str(&format!(
+                        "\"{tag}\" => return Ok({name}::{v}),\n",
+                        v = v.name
+                    )),
+                    Some(fields) => {
+                        let mut inner = String::new();
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "{f}: ::serde::Deserialize::deserialize_value(\
+                                 __f.get(\"{f}\").unwrap_or(&::serde::Value::Null))?,\n"
+                            ));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{tag}\" => {{\n\
+                                 let __f = __inner.as_object().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected variant fields object\"))?;\n\
+                                 return Ok({name}::{v} {{ {inner} }});\n\
+                             }}\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::serde::Value::Str(__s) = __v {{\n\
+                     match __s.as_str() {{ {unit_arms} _ => {{}} }}\n\
+                 }}\n\
+                 if let Some(__obj) = __v.as_object() {{\n\
+                     if let Some((__tag, __inner)) = __obj.iter().next() {{\n\
+                         match __tag.as_str() {{ {tagged_arms} _ => {{}} }}\n\
+                     }}\n\
+                 }}\n\
+                 Err(::serde::Error::custom(\"unknown `{name}` variant\"))"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
