@@ -14,9 +14,12 @@
 //! paper-style tables; `cargo bench -p velodrome-bench` runs the Criterion
 //! timing harness behind Table 1's performance columns. The `hotpath`
 //! binary (module [`hotpath`]) measures the redundant-edge elision and
-//! epoch-cache fast paths and emits `BENCH_hotpath.json`.
+//! epoch-cache fast paths and emits `BENCH_hotpath.json`. The `chaos`
+//! binary (module [`chaos`]) replays a fixed-seed trace under the built-in
+//! fault-plan set and asserts the fault-tolerance contract.
 
 pub mod backend;
+pub mod chaos;
 pub mod hotpath;
 pub mod injection;
 pub mod report;

@@ -26,20 +26,75 @@ use velodrome_sim::{run_program, RandomScheduler};
 use velodrome_vclock::HbRaceDetector;
 use velodrome_workloads::adversarial::adversarial_scheduler;
 
-/// A user/usage error with a message suitable for stderr.
+/// What went wrong, determining the process exit code. Scripts (and
+/// `scripts/ci-gate.sh`) rely on the distinction: a malformed trace file
+/// must be distinguishable from a missing one or a bad flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CliErrorKind {
+    /// Bad command line: unknown command/flag/workload/backend (exit 2).
+    Usage,
+    /// The file system failed us: unreadable or unwritable path (exit 3).
+    Io,
+    /// The input file was read but could not be parsed; the message names
+    /// the file, the byte offset, and the reason (exit 4).
+    MalformedInput,
+}
+
+impl CliErrorKind {
+    /// Process exit code for this kind of error.
+    pub fn exit_code(self) -> i32 {
+        match self {
+            Self::Usage => 2,
+            Self::Io => 3,
+            Self::MalformedInput => 4,
+        }
+    }
+}
+
+/// A user-facing error with a message suitable for stderr and a kind
+/// determining the exit code.
 #[derive(Debug)]
-pub struct CliError(pub String);
+pub struct CliError {
+    /// Classification, mapped to an exit code via [`CliErrorKind::exit_code`].
+    pub kind: CliErrorKind,
+    /// Human-readable diagnostic.
+    pub message: String,
+}
+
+impl CliError {
+    /// Process exit code for this error.
+    pub fn exit_code(&self) -> i32 {
+        self.kind.exit_code()
+    }
+}
 
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.0)
+        write!(f, "{}", self.message)
     }
 }
 
 impl std::error::Error for CliError {}
 
 fn err(msg: impl Into<String>) -> CliError {
-    CliError(msg.into())
+    CliError {
+        kind: CliErrorKind::Usage,
+        message: msg.into(),
+    }
+}
+
+fn io_err(msg: impl Into<String>) -> CliError {
+    CliError {
+        kind: CliErrorKind::Io,
+        message: msg.into(),
+    }
+}
+
+fn input_err(msg: impl Into<String>) -> CliError {
+    CliError {
+        kind: CliErrorKind::MalformedInput,
+        message: msg.into(),
+    }
 }
 
 /// Parsed command-line options.
@@ -55,6 +110,8 @@ struct Options {
     no_merge: bool,
     no_gc: bool,
     json: bool,
+    max_alive: usize,
+    max_vars: usize,
 }
 
 fn parse(args: &[String]) -> Result<Options, CliError> {
@@ -83,6 +140,12 @@ fn parse(args: &[String]) -> Result<Options, CliError> {
             o.no_gc = true;
         } else if a == "--json" {
             o.json = true;
+        } else if let Some(v) = a.strip_prefix("--max-alive=") {
+            o.max_alive = v
+                .parse()
+                .map_err(|_| err(format!("bad --max-alive: {v}")))?;
+        } else if let Some(v) = a.strip_prefix("--max-vars=") {
+            o.max_vars = v.parse().map_err(|_| err(format!("bad --max-vars: {v}")))?;
         } else if a.starts_with("--") {
             return Err(err(format!("unknown flag: {a}")));
         } else {
@@ -103,8 +166,11 @@ pub const USAGE: &str = "usage:
   velodrome replay <workload> <FILE> [--scale=N]
   velodrome compare <workload|FILE> [--scale=N] [--seed=S]
 backends: velodrome (default), atomizer, eraser, hb-race, fasttrack, s2pl, all
-velodrome flags: --no-merge (naive Figure 2 rule), --no-gc
-output flags: --dot (error graphs), --json (machine-readable warnings)";
+velodrome flags: --no-merge (naive Figure 2 rule), --no-gc,
+  --max-alive=N / --max-vars=N (resource budgets; tripping one degrades the
+  analysis down an explicit ladder instead of growing without bound)
+output flags: --dot (error graphs), --json (machine-readable warnings)
+exit codes: 0 ok, 2 usage error, 3 I/O error, 4 malformed input file";
 
 /// Executes a CLI invocation, returning the text to print on stdout.
 pub fn execute(args: &[String]) -> Result<String, CliError> {
@@ -159,30 +225,70 @@ fn produce_trace(opts: &Options) -> Result<Trace, CliError> {
     Ok(result.trace)
 }
 
-fn analyze(trace: &Trace, opts: &Options) -> Result<Vec<Warning>, CliError> {
+/// Warnings plus analysis-health notes (budget suppression, degradation)
+/// that the text renderer appends after the warning list.
+struct Analysis {
+    warnings: Vec<Warning>,
+    notes: Vec<String>,
+}
+
+fn analyze(trace: &Trace, opts: &Options) -> Result<Analysis, CliError> {
     let velodrome = |trace: &Trace| {
         let cfg = VelodromeConfig {
             names: trace.names().clone(),
             merge: !opts.no_merge,
             gc: !opts.no_gc,
+            budget: velodrome_monitor::ResourceBudget {
+                max_alive_nodes: opts.max_alive,
+                max_tracked_vars: opts.max_vars,
+                ..velodrome_monitor::ResourceBudget::UNLIMITED
+            },
             ..VelodromeConfig::default()
         };
-        run_tool(&mut Velodrome::with_config(cfg), trace)
+        let mut engine = Velodrome::with_config(cfg);
+        let warnings = run_tool(&mut engine, trace);
+        let stats = engine.stats();
+        let mut notes = Vec::new();
+        if stats.warnings_suppressed > 0 {
+            notes.push(format!(
+                "{} warnings suppressed (budget)",
+                stats.warnings_suppressed
+            ));
+        }
+        if stats.ladder != velodrome_monitor::DegradationLevel::Full {
+            notes.push(format!(
+                "analysis degraded to {} ({} transitions, {} vars quarantined) — \
+                 warnings after the degradation point may be incomplete",
+                stats.ladder, stats.degradations, stats.vars_quarantined
+            ));
+        }
+        Analysis { warnings, notes }
+    };
+    let plain = |warnings: Vec<Warning>| Analysis {
+        warnings,
+        notes: Vec::new(),
     };
     Ok(match opts.backend.as_str() {
         "velodrome" => velodrome(trace),
-        "atomizer" => run_tool(&mut Atomizer::new(), trace),
-        "eraser" => run_tool(&mut Eraser::new(), trace),
-        "hb-race" => run_tool(&mut HbRaceDetector::new(), trace),
-        "fasttrack" => run_tool(&mut velodrome_vclock::FastTrack::new(), trace),
-        "s2pl" => run_tool(&mut velodrome_lockset::StrictTwoPhase::new(), trace),
+        "atomizer" => plain(run_tool(&mut Atomizer::new(), trace)),
+        "eraser" => plain(run_tool(&mut Eraser::new(), trace)),
+        "hb-race" => plain(run_tool(&mut HbRaceDetector::new(), trace)),
+        "fasttrack" => plain(run_tool(&mut velodrome_vclock::FastTrack::new(), trace)),
+        "s2pl" => plain(run_tool(
+            &mut velodrome_lockset::StrictTwoPhase::new(),
+            trace,
+        )),
         "all" => {
-            let mut all = velodrome(trace);
-            all.extend(run_tool(&mut Atomizer::new(), trace));
-            all.extend(run_tool(&mut Eraser::new(), trace));
-            all.extend(run_tool(&mut HbRaceDetector::new(), trace));
-            all.sort_by_key(|w| w.op_index);
-            all
+            let mut result = velodrome(trace);
+            result
+                .warnings
+                .extend(run_tool(&mut Atomizer::new(), trace));
+            result.warnings.extend(run_tool(&mut Eraser::new(), trace));
+            result
+                .warnings
+                .extend(run_tool(&mut HbRaceDetector::new(), trace));
+            result.warnings.sort_by_key(|w| w.op_index);
+            result
         }
         other => return Err(err(format!("unknown backend `{other}`\n{USAGE}"))),
     })
@@ -203,8 +309,7 @@ fn replay(opts: &Options) -> Result<String, CliError> {
     use velodrome_sim::ReplayScheduler;
     let w = load_workload(opts)?;
     let path = opts.positional.get(1).ok_or_else(|| err(USAGE))?;
-    let json = std::fs::read_to_string(path).map_err(|e| err(format!("reading {path}: {e}")))?;
-    let recording = Trace::from_json(&json).map_err(|e| err(format!("parsing {path}: {e}")))?;
+    let recording = read_trace_file(path)?;
     let mut replayer = ReplayScheduler::new(&recording);
     let result = run_program(&w.program, &mut replayer);
     if replayer.diverged() {
@@ -219,8 +324,8 @@ fn replay(opts: &Options) -> Result<String, CliError> {
         "replayed {} recorded events deterministically\n",
         replayer.replayed()
     );
-    let warnings = analyze(&result.trace, opts)?;
-    out.push_str(&render_warnings(&result.trace, &warnings, opts.dot));
+    let analysis = analyze(&result.trace, opts)?;
+    out.push_str(&render_analysis(&result.trace, &analysis, opts.dot));
     Ok(out)
 }
 
@@ -247,27 +352,27 @@ fn compare(opts: &Options) -> Result<String, CliError> {
         };
         o.no_merge = opts.no_merge;
         o.no_gc = opts.no_gc;
-        let warnings = analyze(&trace, &o)?;
+        let analysis = analyze(&trace, &o)?;
         let elapsed = start.elapsed();
         let _ = writeln!(
             out,
             "  {backend:<10} {:>4} warnings   {:>8.2?}",
-            warnings.len(),
+            analysis.warnings.len(),
             elapsed
         );
     }
     Ok(out)
 }
 
-fn render_warnings(trace: &Trace, warnings: &[Warning], dot: bool) -> String {
+fn render_analysis(trace: &Trace, analysis: &Analysis, dot: bool) -> String {
     let mut out = String::new();
-    if warnings.is_empty() {
+    if analysis.warnings.is_empty() {
         let _ = writeln!(
             out,
             "no warnings: every observed transaction is serializable"
         );
     }
-    for w in warnings {
+    for w in &analysis.warnings {
         let _ = writeln!(out, "{w}");
         if dot {
             if let Some(details) = &w.details {
@@ -275,20 +380,23 @@ fn render_warnings(trace: &Trace, warnings: &[Warning], dot: bool) -> String {
             }
         }
     }
+    for note in &analysis.notes {
+        let _ = writeln!(out, "{note}");
+    }
     let _ = writeln!(out, "({} events analyzed)", trace.len());
     out
 }
 
 fn check(opts: &Options) -> Result<String, CliError> {
     let trace = produce_trace(opts)?;
-    let warnings = analyze(&trace, opts)?;
+    let analysis = analyze(&trace, opts)?;
     if opts.json {
         return Ok(format!(
             "{}\n",
-            serde_json::to_string_pretty(&warnings).expect("warnings serialize")
+            serde_json::to_string_pretty(&analysis.warnings).expect("warnings serialize")
         ));
     }
-    Ok(render_warnings(&trace, &warnings, opts.dot))
+    Ok(render_analysis(&trace, &analysis, opts.dot))
 }
 
 fn record(opts: &Options) -> Result<String, CliError> {
@@ -297,20 +405,27 @@ fn record(opts: &Options) -> Result<String, CliError> {
         .out
         .as_deref()
         .ok_or_else(|| err("record requires --out=FILE"))?;
-    std::fs::write(path, trace.to_json()).map_err(|e| err(format!("writing {path}: {e}")))?;
+    std::fs::write(path, trace.to_json()).map_err(|e| io_err(format!("writing {path}: {e}")))?;
     Ok(format!("recorded {} events to {path}\n", trace.len()))
+}
+
+/// Reads and parses a trace file with structured diagnostics: an unreadable
+/// path is an I/O error (exit 3); unparseable contents are a malformed-input
+/// error (exit 4) naming the file, byte offset, and reason.
+fn read_trace_file(path: &str) -> Result<Trace, CliError> {
+    let json = std::fs::read_to_string(path).map_err(|e| io_err(format!("reading {path}: {e}")))?;
+    Trace::from_json(&json).map_err(|e| input_err(format!("malformed trace file {path}: {e}")))
 }
 
 fn load_trace(opts: &Options) -> Result<Trace, CliError> {
     let path = opts.positional.first().ok_or_else(|| err(USAGE))?;
-    let json = std::fs::read_to_string(path).map_err(|e| err(format!("reading {path}: {e}")))?;
-    Trace::from_json(&json).map_err(|e| err(format!("parsing {path}: {e}")))
+    read_trace_file(path)
 }
 
 fn trace_cmd(opts: &Options) -> Result<String, CliError> {
     let trace = load_trace(opts)?;
-    let warnings = analyze(&trace, opts)?;
-    Ok(render_warnings(&trace, &warnings, opts.dot))
+    let analysis = analyze(&trace, opts)?;
+    Ok(render_analysis(&trace, &analysis, opts.dot))
 }
 
 fn oracle_cmd(opts: &Options) -> Result<String, CliError> {
@@ -412,6 +527,71 @@ mod tests {
         assert!(run(&["check", "multiset", "--backend=nope"]).is_err());
         assert!(run(&["check", "multiset", "--bogus"]).is_err());
         assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn usage_errors_exit_2() {
+        for args in [
+            &["frobnicate"][..],
+            &["check", "nonesuch"],
+            &["check", "multiset", "--backend=nope"],
+            &["check", "multiset", "--max-alive=xyz"],
+        ] {
+            let e = run(args).unwrap_err();
+            assert_eq!(e.kind, CliErrorKind::Usage, "{args:?}: {e}");
+            assert_eq!(e.exit_code(), 2);
+        }
+    }
+
+    #[test]
+    fn missing_trace_file_is_io_error_exit_3() {
+        for cmd in ["trace", "oracle"] {
+            let e = run(&[cmd, "/nonexistent/velodrome-trace.json"]).unwrap_err();
+            assert_eq!(e.kind, CliErrorKind::Io, "{cmd}: {e}");
+            assert_eq!(e.exit_code(), 3);
+            assert!(
+                e.message.contains("/nonexistent/velodrome-trace.json"),
+                "{e}"
+            );
+        }
+        let e = run(&["replay", "multiset", "/nonexistent/rec.json"]).unwrap_err();
+        assert_eq!(e.kind, CliErrorKind::Io, "{e}");
+    }
+
+    #[test]
+    fn truncated_trace_file_is_malformed_input_exit_4() {
+        let dir = std::env::temp_dir().join("velodrome-cli-truncated");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("truncated.json");
+        let path_str = path.to_str().unwrap();
+        // Record a valid trace, then truncate it mid-document.
+        run(&["record", "multiset", &format!("--out={path_str}")]).unwrap();
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        for cmd in [&["trace", path_str][..], &["oracle", path_str]] {
+            let e = run(cmd).unwrap_err();
+            assert_eq!(e.kind, CliErrorKind::MalformedInput, "{cmd:?}: {e}");
+            assert_eq!(e.exit_code(), 4);
+            assert!(e.message.contains(path_str), "names the file: {e}");
+            assert!(e.message.contains("byte"), "gives a byte offset: {e}");
+        }
+        let e = run(&["replay", "multiset", path_str]).unwrap_err();
+        assert_eq!(e.kind, CliErrorKind::MalformedInput, "{e}");
+        // Garbage that is valid JSON but not a trace is also malformed
+        // input, not a crash.
+        std::fs::write(&path, "{\"ops\": 42}").unwrap();
+        let e = run(&["trace", path_str]).unwrap_err();
+        assert_eq!(e.kind, CliErrorKind::MalformedInput, "{e}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn budget_flags_degrade_and_report() {
+        let out = run(&["check", "multiset", "--seed=1", "--max-vars=1"]).unwrap();
+        assert!(out.contains("degraded"), "{out}");
+        // Unbudgeted output is unchanged and says nothing about degradation.
+        let clean = run(&["check", "multiset", "--seed=1"]).unwrap();
+        assert!(!clean.contains("degraded"), "{clean}");
     }
 
     #[test]

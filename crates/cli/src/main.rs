@@ -6,7 +6,7 @@ fn main() {
         Ok(output) => print!("{output}"),
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(2);
+            std::process::exit(e.exit_code());
         }
     }
 }

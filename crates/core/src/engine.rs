@@ -27,8 +27,9 @@
 use crate::arena::{Arena, CycleFound, NodeDesc};
 use crate::report::{CycleReport, ReportEdge, ReportNode};
 use crate::step::{SlotIdx, Step, Ts};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use velodrome_events::{Label, LockId, Op, SymbolTable, ThreadId, Trace, VarId};
+use velodrome_monitor::budget::{DegradationLevel, ResourceBudget};
 use velodrome_monitor::tool::{PerLabelDedup, Tool, Warning, WarningCategory};
 
 /// Configuration of the [`Velodrome`] engine.
@@ -59,8 +60,31 @@ pub struct VelodromeConfig {
     /// produce its one warning.
     pub dedup_per_label: bool,
     /// Hard cap on *stored* (undrained) warnings; `0` means unlimited.
-    /// Suppressed reports are still recorded in [`Velodrome::reports`].
+    /// Suppressed reports are still recorded in [`Velodrome::reports`],
+    /// and every suppression is counted in
+    /// [`VelodromeStats::warnings_suppressed`] so a capped run is
+    /// distinguishable from a clean one.
     pub max_warnings: usize,
+    /// Resource budget (default: unlimited — zero behavior change). When a
+    /// cap trips, the engine steps down the [`DegradationLevel`] ladder
+    /// instead of growing without bound:
+    ///
+    /// * `max_tracked_vars` exceeded → [`DegradationLevel::VarQuarantine`]:
+    ///   the hottest variables are excluded from happens-before edge
+    ///   creation until at most the budgeted number remain tracked;
+    /// * `max_alive_nodes` exceeded → `VarQuarantine` first; if the graph
+    ///   is still over budget after a grace window, →
+    ///   [`DegradationLevel::RecorderOnly`] (analysis stops, events are
+    ///   only counted);
+    /// * `max_trace_events` is enforced by the monitoring runtime, not the
+    ///   engine (the engine retains no trace).
+    ///
+    /// Every transition is counted in [`VelodromeStats`] and surfaced as a
+    /// [`WarningCategory::Degraded`] warning carrying the event index, so
+    /// the soundness downgrade is explicit, never silent. Warnings emitted
+    /// *before* the first transition are byte-identical to an unbudgeted
+    /// run.
+    pub budget: ResourceBudget,
     /// Symbol table used to render warnings and error graphs.
     pub names: SymbolTable,
 }
@@ -73,6 +97,7 @@ impl Default for VelodromeConfig {
             elide_redundant_edges: true,
             dedup_per_label: true,
             max_warnings: 10_000,
+            budget: ResourceBudget::UNLIMITED,
             names: SymbolTable::new(),
         }
     }
@@ -102,6 +127,16 @@ pub struct VelodromeStats {
     pub merges_bottom: u64,
     /// Cycles detected (before per-label deduplication).
     pub cycles_detected: u64,
+    /// Warnings dropped because [`VelodromeConfig::max_warnings`] was
+    /// exhausted (the full [`CycleReport`]s are still retained).
+    pub warnings_suppressed: u64,
+    /// Degradation-ladder transitions taken (see
+    /// [`VelodromeConfig::budget`]).
+    pub degradations: u64,
+    /// Variables quarantined from happens-before edge creation.
+    pub vars_quarantined: u64,
+    /// Current rung of the degradation ladder.
+    pub ladder: DegradationLevel,
 }
 
 impl std::fmt::Display for VelodromeStats {
@@ -121,7 +156,22 @@ impl std::fmt::Display for VelodromeStats {
             self.merges_reused,
             self.merges_bottom,
             self.cycles_detected
-        )
+        )?;
+        if self.warnings_suppressed > 0 {
+            write!(
+                f,
+                ", {} warnings suppressed (budget)",
+                self.warnings_suppressed
+            )?;
+        }
+        if self.ladder != DegradationLevel::Full {
+            write!(
+                f,
+                ", degraded to {} ({} transitions, {} vars quarantined)",
+                self.ladder, self.degradations, self.vars_quarantined
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -176,6 +226,19 @@ pub struct Velodrome {
     reports: Vec<CycleReport>,
     dedup: PerLabelDedup,
     stats: VelodromeStats,
+    /// Variables excluded from happens-before edge creation after the
+    /// tracked-variable (or alive-node) budget tripped. Reads and writes of
+    /// a quarantined variable are ignored entirely — dropping edges can only
+    /// lose real cycles (completeness), never invent false ones (soundness).
+    quarantined: HashSet<VarId>,
+    /// Access counts per still-tracked variable; maintained only when a
+    /// budget is configured, and used to pick the *hottest* variables for
+    /// quarantine (ties broken by lower raw id, so runs are deterministic).
+    var_heat: HashMap<VarId, u64>,
+    /// After an alive-node-triggered quarantine, escalation to
+    /// recorder-only waits until this many ops have been processed, giving
+    /// GC a window to reclaim nodes the quarantine unpinned.
+    grace_until: u64,
 }
 
 impl Default for Velodrome {
@@ -204,6 +267,9 @@ impl Velodrome {
             reports: Vec::new(),
             dedup: PerLabelDedup::new(),
             stats: VelodromeStats::default(),
+            quarantined: HashSet::new(),
+            var_heat: HashMap::new(),
+            grace_until: 0,
         }
     }
 
@@ -229,6 +295,19 @@ impl Velodrome {
     /// Number of currently alive transaction nodes.
     pub fn alive_nodes(&self) -> usize {
         self.arena.alive_count()
+    }
+
+    /// Current rung of the degradation ladder (see
+    /// [`VelodromeConfig::budget`]).
+    pub fn ladder(&self) -> DegradationLevel {
+        self.stats.ladder
+    }
+
+    /// Variables currently quarantined from happens-before edge creation.
+    pub fn quarantined_vars(&self) -> Vec<VarId> {
+        let mut vars: Vec<VarId> = self.quarantined.iter().copied().collect();
+        vars.sort_by_key(|x| x.raw());
+        vars
     }
 
     /// Exposes the arena's internal invariant checker (tests only).
@@ -459,6 +538,108 @@ impl Velodrome {
         let _ = self.advance(t, &[lc], op, idx);
     }
 
+    /// Steps the ladder down to `to` (monotonic; a repeat at the same rung
+    /// is a no-op). The transition warning bypasses both `max_warnings` and
+    /// per-label dedup: a soundness downgrade must never be silently
+    /// dropped.
+    fn degrade(&mut self, to: DegradationLevel, t: ThreadId, idx: usize, reason: &str) {
+        if to <= self.stats.ladder {
+            return;
+        }
+        self.stats.ladder = to;
+        self.stats.degradations += 1;
+        self.warnings.push(Warning {
+            tool: "velodrome",
+            category: WarningCategory::Degraded,
+            label: None,
+            thread: t,
+            op_index: idx,
+            message: format!("degraded to {to}: {reason}"),
+            details: None,
+        });
+    }
+
+    /// Quarantines the hottest variables until at most `target` remain
+    /// tracked. Hotter first; ties broken by lower raw id so runs are
+    /// deterministic. Quarantined variables drop their `R`/`W` entries,
+    /// unpinning any transaction nodes those steps kept alive.
+    fn quarantine_hottest(&mut self, target: usize) {
+        if self.var_heat.len() <= target {
+            return;
+        }
+        let mut by_heat: Vec<(VarId, u64)> = self.var_heat.iter().map(|(&x, &h)| (x, h)).collect();
+        by_heat.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.raw().cmp(&b.0.raw())));
+        for (x, _) in by_heat.drain(..self.var_heat.len() - target) {
+            self.var_heat.remove(&x);
+            self.quarantined.insert(x);
+            self.w.remove(&x);
+            self.r.remove(&x);
+            self.stats.vars_quarantined += 1;
+        }
+    }
+
+    /// Budget enforcement, run before each operation when a budget is
+    /// configured. Returns `true` if `op` should be dropped (quarantined
+    /// variable or recorder-only mode).
+    fn enforce_budgets(&mut self, op: Op, idx: usize) -> bool {
+        let b = self.cfg.budget;
+        let var = match op {
+            Op::Read { x, .. } | Op::Write { x, .. } => Some(x),
+            _ => None,
+        };
+        if let Some(x) = var {
+            if self.quarantined.contains(&x) {
+                return true;
+            }
+            *self.var_heat.entry(x).or_insert(0) += 1;
+        }
+        if b.max_tracked_vars > 0 && self.var_heat.len() > b.max_tracked_vars {
+            self.quarantine_hottest(b.max_tracked_vars);
+            self.degrade(
+                DegradationLevel::VarQuarantine,
+                op.tid(),
+                idx,
+                "tracked-variable budget exhausted",
+            );
+            // The current op's variable may itself have been quarantined.
+            if let Some(x) = var {
+                if self.quarantined.contains(&x) {
+                    return true;
+                }
+            }
+        }
+        if b.max_alive_nodes > 0 && self.arena.alive_count() > b.max_alive_nodes {
+            if self.grace_until == 0 {
+                // First trip: quarantine the hotter half of the tracked
+                // variables and give GC a grace window to reclaim the nodes
+                // their R/W steps were pinning.
+                self.quarantine_hottest((self.var_heat.len() / 2).max(1));
+                self.degrade(
+                    DegradationLevel::VarQuarantine,
+                    op.tid(),
+                    idx,
+                    "alive-node budget exhausted",
+                );
+                self.grace_until = self.stats.ops + 2 * b.max_alive_nodes as u64 + 16;
+            } else if self.stats.ops >= self.grace_until {
+                self.degrade(
+                    DegradationLevel::RecorderOnly,
+                    op.tid(),
+                    idx,
+                    "alive-node budget still exhausted after quarantine",
+                );
+                // Analysis is over: release the store so memory stops
+                // growing. Events are still counted in `stats.ops`.
+                self.u.clear();
+                self.w.clear();
+                self.r.clear();
+                self.var_heat.clear();
+                return true;
+            }
+        }
+        false
+    }
+
     fn report_cycle(&mut self, c: CycleFound, t: ThreadId, op: Op, idx: usize) {
         self.stats.cycles_detected += 1;
         // Reconstruct the existing path current-txn →* edge-source; the
@@ -522,6 +703,7 @@ impl Velodrome {
         // Conversely a duplicate label returns here without ever counting
         // against the budget.
         if self.cfg.max_warnings > 0 && self.warnings.len() >= self.cfg.max_warnings {
+            self.stats.warnings_suppressed += 1;
             self.reports.push(report);
             return;
         }
@@ -550,6 +732,16 @@ impl Tool for Velodrome {
 
     fn op(&mut self, index: usize, op: Op) {
         self.stats.ops += 1;
+        // Budget enforcement is gated on a configured budget so the default
+        // (unlimited) path has zero extra state and identical behavior.
+        if !self.cfg.budget.is_unlimited() {
+            if self.stats.ladder == DegradationLevel::RecorderOnly {
+                return;
+            }
+            if self.enforce_budgets(op, index) {
+                return;
+            }
+        }
         match op {
             Op::Read { t, x } => self.on_read(t, x, op, index),
             Op::Write { t, x } => self.on_write(t, x, op, index),

@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 use velodrome::{Velodrome, VelodromeConfig};
 use velodrome_events::{Label, LockId, Op, ThreadId, VarId};
-use velodrome_monitor::Tool;
+use velodrome_monitor::{DegradationLevel, ResourceBudget, Tool, WarningCategory};
 
 fn arb_op() -> impl Strategy<Value = Op> {
     let t = (0u32..5).prop_map(ThreadId::new);
@@ -54,6 +54,80 @@ proptest! {
         );
     }
 
+    /// A budgeted engine is total on garbage input, keeps its invariants,
+    /// and always lands in the ladder state its statistics declare.
+    #[test]
+    fn budgeted_engine_is_total_on_arbitrary_input(
+        ops in prop::collection::vec(arb_op(), 0..120),
+        max_alive in 0usize..6,
+        max_vars in 0usize..4,
+    ) {
+        let mut engine = Velodrome::with_config(VelodromeConfig {
+            dedup_per_label: false,
+            budget: ResourceBudget {
+                max_alive_nodes: max_alive,
+                max_tracked_vars: max_vars,
+                ..ResourceBudget::UNLIMITED
+            },
+            ..VelodromeConfig::default()
+        });
+        for (i, &op) in ops.iter().enumerate() {
+            engine.op(i, op);
+        }
+        engine.check_invariants();
+        let warnings = engine.take_warnings();
+        let stats = engine.stats();
+        // Ladder state and transition count agree, and every transition
+        // produced exactly one (never-suppressed) Degraded warning.
+        let degraded = warnings
+            .iter()
+            .filter(|w| w.category == WarningCategory::Degraded)
+            .count() as u64;
+        prop_assert_eq!(degraded, stats.degradations);
+        prop_assert_eq!(stats.ladder != DegradationLevel::Full, stats.degradations > 0);
+        if stats.vars_quarantined > 0 {
+            prop_assert!(stats.ladder >= DegradationLevel::VarQuarantine);
+        }
+    }
+
+    /// Warnings emitted before the first degradation are byte-identical to
+    /// an unbudgeted run's.
+    #[test]
+    fn budget_preserves_pre_degradation_verdicts(
+        ops in prop::collection::vec(arb_op(), 0..120),
+        max_vars in 1usize..3,
+    ) {
+        let run = |budget: ResourceBudget| {
+            let mut engine = Velodrome::with_config(VelodromeConfig {
+                dedup_per_label: false,
+                budget,
+                ..VelodromeConfig::default()
+            });
+            for (i, &op) in ops.iter().enumerate() {
+                engine.op(i, op);
+            }
+            engine.take_warnings()
+        };
+        let clean = run(ResourceBudget::UNLIMITED);
+        let budgeted = run(ResourceBudget {
+            max_tracked_vars: max_vars,
+            ..ResourceBudget::UNLIMITED
+        });
+        let cut = budgeted
+            .iter()
+            .filter(|w| w.category == WarningCategory::Degraded)
+            .map(|w| w.op_index)
+            .min()
+            .unwrap_or(usize::MAX);
+        let verdicts = |ws: &[velodrome_monitor::Warning]| -> Vec<String> {
+            ws.iter()
+                .filter(|w| w.category != WarningCategory::Degraded && w.op_index < cut)
+                .map(|w| format!("{w}|{}", w.details.as_deref().unwrap_or("")))
+                .collect()
+        };
+        prop_assert_eq!(verdicts(&clean), verdicts(&budgeted));
+    }
+
     /// GC never changes what is detected, even on garbage input.
     #[test]
     fn gc_is_transparent_on_arbitrary_input(ops in prop::collection::vec(arb_op(), 0..80)) {
@@ -71,4 +145,46 @@ proptest! {
         };
         prop_assert_eq!(run(true), run(false));
     }
+}
+
+/// When `max_warnings` trips, the overflow is counted, never silent.
+#[test]
+fn warning_budget_overflow_is_counted() {
+    let t1 = ThreadId::new(0);
+    let t2 = ThreadId::new(1);
+    let x = VarId::new(0);
+    let mut engine = Velodrome::with_config(VelodromeConfig {
+        dedup_per_label: false,
+        max_warnings: 1,
+        ..VelodromeConfig::default()
+    });
+    // Two copies of the classic non-serializable pattern: a transaction
+    // whose read and write of `x` straddle another thread's write.
+    let mut i = 0;
+    for round in 0..2u32 {
+        let l = Label::new(round);
+        for op in [
+            Op::Begin { t: t1, l },
+            Op::Read { t: t1, x },
+            Op::Write { t: t2, x },
+            Op::Write { t: t1, x },
+            Op::End { t: t1 },
+        ] {
+            engine.op(i, op);
+            i += 1;
+        }
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.cycles_detected, 2, "both cycles are detected");
+    assert_eq!(
+        engine.take_warnings().len(),
+        1,
+        "budget caps stored warnings"
+    );
+    assert_eq!(stats.warnings_suppressed, 1, "the overflow is counted");
+    assert_eq!(engine.reports().len(), 2, "full reports are still retained");
+    assert!(
+        stats.to_string().contains("1 warnings suppressed (budget)"),
+        "{stats}"
+    );
 }

@@ -12,10 +12,61 @@ use std::fmt;
 ///
 /// The position of an operation in the trace serves as its unique identifier
 /// (the paper assumes each operation carries one).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// Operations can be *flagged as synthesized*: closing `end`/`rel` events
+/// that a monitoring runtime inserted on shutdown for threads that died
+/// mid-transaction were never performed by the program, and replay or
+/// post-processing tools may want to treat them differently. Traces without
+/// synthesized events serialize byte-identically to earlier versions (the
+/// field is omitted when empty and tolerated when absent).
+#[derive(Debug, Clone, Default)]
 pub struct Trace {
     ops: Vec<Op>,
     names: SymbolTable,
+    /// Sorted indices of synthesized operations.
+    synthesized: Vec<usize>,
+}
+
+impl Serialize for Trace {
+    fn serialize_value(&self) -> serde::Value {
+        let mut m = serde::value::Map::new();
+        m.insert("ops".to_owned(), self.ops.serialize_value());
+        m.insert("names".to_owned(), self.names.serialize_value());
+        if !self.synthesized.is_empty() {
+            m.insert("synthesized".to_owned(), self.synthesized.serialize_value());
+        }
+        serde::Value::Object(m)
+    }
+}
+
+impl Deserialize for Trace {
+    fn deserialize_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let serde::Value::Object(obj) = v else {
+            return Err(serde::Error::custom("expected a trace object"));
+        };
+        let null = serde::Value::Null;
+        let ops = Vec::<Op>::deserialize_value(obj.get("ops").unwrap_or(&null))?;
+        let names = SymbolTable::deserialize_value(obj.get("names").unwrap_or(&null))?;
+        let mut synthesized = match obj.get("synthesized") {
+            Some(serde::Value::Null) | None => Vec::new(),
+            Some(value) => Vec::<usize>::deserialize_value(value)?,
+        };
+        synthesized.sort_unstable();
+        synthesized.dedup();
+        if let Some(&last) = synthesized.last() {
+            if last >= ops.len() {
+                return Err(serde::Error::custom(format!(
+                    "synthesized index {last} out of bounds for {} ops",
+                    ops.len()
+                )));
+            }
+        }
+        Ok(Self {
+            ops,
+            names,
+            synthesized,
+        })
+    }
 }
 
 impl Trace {
@@ -29,7 +80,32 @@ impl Trace {
         Self {
             ops: ops.into_iter().collect(),
             names: SymbolTable::new(),
+            synthesized: Vec::new(),
         }
+    }
+
+    /// Flags the operation at `index` as synthesized (inserted by the
+    /// runtime on shutdown rather than performed by the program).
+    ///
+    /// Out-of-bounds indices are ignored.
+    pub fn mark_synthesized(&mut self, index: usize) {
+        if index >= self.ops.len() {
+            return;
+        }
+        if let Err(pos) = self.synthesized.binary_search(&index) {
+            self.synthesized.insert(pos, index);
+        }
+    }
+
+    /// Sorted indices of synthesized operations.
+    pub fn synthesized(&self) -> &[usize] {
+        &self.synthesized
+    }
+
+    /// Returns `true` when the operation at `index` is flagged as
+    /// synthesized.
+    pub fn is_synthesized(&self, index: usize) -> bool {
+        self.synthesized.binary_search(&index).is_ok()
     }
 
     /// Appends an operation.
@@ -103,7 +179,11 @@ impl Trace {
 impl fmt::Display for Trace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (i, op) in self.iter() {
-            writeln!(f, "{i:>5}: {op}")?;
+            if self.is_synthesized(i) {
+                writeln!(f, "{i:>5}: {op}  (synthesized)")?;
+            } else {
+                writeln!(f, "{i:>5}: {op}")?;
+            }
         }
         Ok(())
     }

@@ -1,0 +1,519 @@
+//! Chaos harness: declarative fault injection for the monitoring runtime.
+//!
+//! A production atomicity monitor must survive its own failures: a
+//! panicking back-end, an exhausted resource budget, an event stream cut
+//! off mid-transaction, a host thread dying inside an atomic block. A
+//! [`FaultPlan`] names one such failure declaratively; [`run_plan`] applies
+//! it while replaying a recorded trace through a tool with the same
+//! isolation guarantees as the live [`Runtime`](crate::shim::Runtime), and
+//! reports where (if anywhere) fidelity was lost.
+//!
+//! The harness's contract — asserted by `crates/monitor/tests/chaos.rs`
+//! and the `chaos` benchmark binary — is threefold: the host always
+//! completes, every warning emitted *before* the degradation point is
+//! byte-identical to a clean run, and telemetry pinpoints the exact event
+//! at which the run degraded.
+
+use crate::budget::{DegradationLevel, ResourceBudget};
+use crate::tool::{Tool, Warning, WarningCategory};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use velodrome_events::{Op, ThreadId, Trace};
+
+/// A declarative fault to inject into a monitored run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fault {
+    /// No fault: the control plan.
+    #[default]
+    None,
+    /// The back-end tool panics while processing the event at this index.
+    ToolPanic {
+        /// Index of the event whose callback panics.
+        at: usize,
+    },
+    /// The event stream ends abruptly after this many events (a crashed
+    /// front end / truncated recording); `end_of_trace` still fires.
+    TruncateStream {
+        /// Number of events delivered before the cut.
+        at: usize,
+    },
+    /// A resource budget is exhausted mid-run, forcing the analysis down
+    /// the degradation ladder.
+    Budget(ResourceBudget),
+    /// A host thread dies mid-transaction: delivery stops at the cut
+    /// index and the implied `end`/`rel` events are synthesized, exactly
+    /// as [`Runtime::finish`](crate::shim::Runtime::finish) does for a
+    /// thread that panicked inside an atomic block.
+    HostDeath {
+        /// Number of events delivered before the thread dies.
+        at: usize,
+    },
+}
+
+/// A named fault plan: one [`Fault`] applied to a monitored run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Stable name for reports.
+    pub name: &'static str,
+    /// The fault to inject.
+    pub fault: Fault,
+}
+
+impl FaultPlan {
+    /// The control plan: no fault.
+    pub fn clean() -> Self {
+        Self {
+            name: "clean",
+            fault: Fault::None,
+        }
+    }
+
+    /// A tool panic at event `at`.
+    pub fn tool_panic(at: usize) -> Self {
+        Self {
+            name: "tool-panic",
+            fault: Fault::ToolPanic { at },
+        }
+    }
+
+    /// A stream truncated after `at` events.
+    pub fn truncate(at: usize) -> Self {
+        Self {
+            name: "truncated-stream",
+            fault: Fault::TruncateStream { at },
+        }
+    }
+
+    /// A budget-exhaustion fault.
+    pub fn budget(budget: ResourceBudget) -> Self {
+        Self {
+            name: "budget-exhaustion",
+            fault: Fault::Budget(budget),
+        }
+    }
+
+    /// A host thread dying mid-transaction after `at` events.
+    pub fn host_death(at: usize) -> Self {
+        Self {
+            name: "host-death",
+            fault: Fault::HostDeath { at },
+        }
+    }
+
+    /// The resource budget this plan imposes (unlimited unless the fault
+    /// is [`Fault::Budget`]).
+    pub fn budget_of(&self) -> ResourceBudget {
+        match self.fault {
+            Fault::Budget(b) => b,
+            _ => ResourceBudget::UNLIMITED,
+        }
+    }
+
+    /// The built-in plan set covering every fault point, scaled to a trace
+    /// of `len` events. Used by the chaos test suite and benchmark binary.
+    pub fn builtin(len: usize) -> Vec<FaultPlan> {
+        let mid = len / 2;
+        vec![
+            Self::clean(),
+            Self::tool_panic(mid),
+            Self::tool_panic(0),
+            Self::truncate(mid),
+            Self::truncate(len.saturating_sub(1)),
+            Self::budget(ResourceBudget {
+                max_alive_nodes: 4,
+                ..ResourceBudget::UNLIMITED
+            }),
+            Self::budget(ResourceBudget {
+                max_tracked_vars: 1,
+                ..ResourceBudget::UNLIMITED
+            }),
+            Self::budget(ResourceBudget {
+                max_trace_events: mid,
+                ..ResourceBudget::UNLIMITED
+            }),
+            Self::host_death(mid),
+        ]
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.fault {
+            Fault::None => write!(f, "{}", self.name),
+            Fault::ToolPanic { at } => write!(f, "{}@{at}", self.name),
+            Fault::TruncateStream { at } => write!(f, "{}@{at}", self.name),
+            Fault::Budget(b) => write!(
+                f,
+                "{}(alive={},trace={},vars={})",
+                self.name, b.max_alive_nodes, b.max_trace_events, b.max_tracked_vars
+            ),
+            Fault::HostDeath { at } => write!(f, "{}@{at}", self.name),
+        }
+    }
+}
+
+/// A tool combinator that panics while processing the event at a fixed
+/// index — the canonical "buggy back-end" for chaos runs.
+#[derive(Debug)]
+pub struct PanicAt<T> {
+    inner: T,
+    at: usize,
+}
+
+impl<T: Tool> PanicAt<T> {
+    /// Wraps `inner`; its `op` callback panics at event index `at`.
+    pub fn new(inner: T, at: usize) -> Self {
+        Self { inner, at }
+    }
+}
+
+impl<T: Tool> Tool for PanicAt<T> {
+    fn name(&self) -> &'static str {
+        "panic-at"
+    }
+    fn op(&mut self, index: usize, op: Op) {
+        assert!(
+            index != self.at,
+            "chaos: injected tool panic at event {index}"
+        );
+        self.inner.op(index, op);
+    }
+    fn end_of_trace(&mut self) {
+        self.inner.end_of_trace();
+    }
+    fn take_warnings(&mut self) -> Vec<Warning> {
+        self.inner.take_warnings()
+    }
+}
+
+/// Outcome of a chaos run.
+#[derive(Debug)]
+pub struct ChaosRun {
+    /// All warnings produced, including `Degraded` transitions.
+    pub warnings: Vec<Warning>,
+    /// Ladder state the run landed in (driver-side; a budgeted tool may
+    /// additionally report its own ladder through its stats).
+    pub ladder: DegradationLevel,
+    /// Event index at which the driver degraded, if it did.
+    pub degraded_at: Option<usize>,
+    /// Events actually delivered to the tool.
+    pub events_delivered: usize,
+    /// `end`/`rel` events synthesized for a host-death cut.
+    pub synthesized: usize,
+}
+
+impl ChaosRun {
+    /// The warnings that are *verdicts* (everything except `Degraded`
+    /// bookkeeping).
+    pub fn verdicts(&self) -> impl Iterator<Item = &Warning> {
+        self.warnings
+            .iter()
+            .filter(|w| w.category != WarningCategory::Degraded)
+    }
+}
+
+/// Replays `trace` through `tool` under `plan`, with the same panic
+/// isolation as the live runtime: a panicking tool is quarantined (the run
+/// degrades to recorder-only and continues observing events), never
+/// propagated to the caller.
+///
+/// For [`Fault::HostDeath`] cuts, the implied closing events of open
+/// transactions and held locks are synthesized after the cut, mirroring
+/// [`Runtime::finish`](crate::shim::Runtime::finish).
+pub fn run_plan<T: Tool>(trace: &Trace, mut tool: T, plan: &FaultPlan) -> ChaosRun {
+    let cut = match plan.fault {
+        Fault::TruncateStream { at } | Fault::HostDeath { at } => at.min(trace.len()),
+        _ => trace.len(),
+    };
+    let mut warnings = Vec::new();
+    let mut ladder = DegradationLevel::Full;
+    let mut degraded_at = None;
+    let mut delivered = 0usize;
+    let mut alive = true;
+
+    // Bookkeeping for host-death synthesis.
+    let mut open_txns: std::collections::HashMap<ThreadId, u32> = Default::default();
+    let mut held: std::collections::HashMap<ThreadId, Vec<velodrome_events::LockId>> =
+        Default::default();
+
+    let feed = |tool: &mut T,
+                alive: &mut bool,
+                warnings: &mut Vec<Warning>,
+                ladder: &mut DegradationLevel,
+                degraded_at: &mut Option<usize>,
+                i: usize,
+                op: Op| {
+        if !*alive {
+            return;
+        }
+        let panicked = catch_unwind(AssertUnwindSafe(|| tool.op(i, op))).err();
+        if let Some(payload) = panicked {
+            *alive = false;
+            *ladder = DegradationLevel::RecorderOnly;
+            *degraded_at = Some(i);
+            // Salvage the verdicts the tool reached before panicking, as
+            // the live runtime's quarantine does.
+            if let Ok(salvaged) = catch_unwind(AssertUnwindSafe(|| tool.take_warnings())) {
+                warnings.extend(salvaged);
+            }
+            let message = if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_owned()
+            } else {
+                "non-string panic payload".to_owned()
+            };
+            warnings.push(Warning {
+                tool: "chaos",
+                category: WarningCategory::Degraded,
+                label: None,
+                thread: op.tid(),
+                op_index: i,
+                message: format!(
+                    "degraded to recorder-only: tool panicked at event {i}: {message}"
+                ),
+                details: None,
+            });
+        }
+    };
+
+    for (i, op) in trace.iter().take(cut) {
+        match op {
+            Op::Begin { t, .. } => *open_txns.entry(t).or_insert(0) += 1,
+            Op::End { t } => {
+                if let Some(d) = open_txns.get_mut(&t) {
+                    *d = d.saturating_sub(1);
+                }
+            }
+            Op::Acquire { t, m } => held.entry(t).or_default().push(m),
+            Op::Release { t, m } => {
+                if let Some(v) = held.get_mut(&t) {
+                    if let Some(pos) = v.iter().rposition(|&h| h == m) {
+                        v.remove(pos);
+                    }
+                }
+            }
+            _ => {}
+        }
+        feed(
+            &mut tool,
+            &mut alive,
+            &mut warnings,
+            &mut ladder,
+            &mut degraded_at,
+            i,
+            op,
+        );
+        delivered += 1;
+    }
+
+    // Host death: synthesize the implied closing events past the cut.
+    let mut synthesized = 0usize;
+    if matches!(plan.fault, Fault::HostDeath { .. }) {
+        let mut threads: Vec<ThreadId> = held
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(&t, _)| t)
+            .chain(open_txns.iter().filter(|(_, &d)| d > 0).map(|(&t, _)| t))
+            .collect();
+        threads.sort_by_key(|t| t.raw());
+        threads.dedup();
+        for t in threads {
+            for &m in held.get(&t).cloned().unwrap_or_default().iter().rev() {
+                feed(
+                    &mut tool,
+                    &mut alive,
+                    &mut warnings,
+                    &mut ladder,
+                    &mut degraded_at,
+                    delivered + synthesized,
+                    Op::Release { t, m },
+                );
+                synthesized += 1;
+            }
+            for _ in 0..open_txns.get(&t).copied().unwrap_or(0) {
+                feed(
+                    &mut tool,
+                    &mut alive,
+                    &mut warnings,
+                    &mut ladder,
+                    &mut degraded_at,
+                    delivered + synthesized,
+                    Op::End { t },
+                );
+                synthesized += 1;
+            }
+        }
+    }
+
+    if alive {
+        let flushed = catch_unwind(AssertUnwindSafe(|| {
+            tool.end_of_trace();
+            tool.take_warnings()
+        }));
+        match flushed {
+            Ok(w) => warnings.extend(w),
+            Err(_) => {
+                ladder = DegradationLevel::RecorderOnly;
+                if degraded_at.is_none() {
+                    degraded_at = Some(delivered + synthesized);
+                }
+                warnings.push(Warning {
+                    tool: "chaos",
+                    category: WarningCategory::Degraded,
+                    label: None,
+                    thread: ThreadId::new(0),
+                    op_index: delivered + synthesized,
+                    message: "degraded to recorder-only: tool panicked in end-of-trace flush"
+                        .to_owned(),
+                    details: None,
+                });
+            }
+        }
+    }
+    warnings.sort_by_key(|w| w.op_index);
+
+    ChaosRun {
+        warnings,
+        ladder,
+        degraded_at,
+        events_delivered: delivered + synthesized,
+        synthesized,
+    }
+}
+
+/// Renders a warning into a canonical byte string for exact comparison.
+fn warning_bytes(w: &Warning) -> String {
+    format!(
+        "{}|{}|{:?}|{}|{}|{}|{}",
+        w.tool,
+        w.category,
+        w.label,
+        w.thread.raw(),
+        w.op_index,
+        w.message,
+        w.details.as_deref().unwrap_or("")
+    )
+}
+
+/// Checks the chaos harness's core guarantee: every *verdict* warning with
+/// `op_index < before` is byte-identical between the clean and faulted
+/// runs (`Degraded` bookkeeping warnings in the faulted run are exempt).
+/// Returns the first divergence, if any.
+pub fn prefix_divergence(
+    clean: &[Warning],
+    faulted: &[Warning],
+    before: usize,
+) -> Option<(Option<String>, Option<String>)> {
+    let keep = |ws: &[Warning]| -> Vec<String> {
+        ws.iter()
+            .filter(|w| w.category != WarningCategory::Degraded && w.op_index < before)
+            .map(warning_bytes)
+            .collect()
+    };
+    let c = keep(clean);
+    let f = keep(faulted);
+    for i in 0..c.len().max(f.len()) {
+        if c.get(i) != f.get(i) {
+            return Some((c.get(i).cloned(), f.get(i).cloned()));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tool::EmptyTool;
+    use velodrome_events::TraceBuilder;
+
+    fn trace() -> Trace {
+        let mut b = TraceBuilder::new();
+        b.begin("T1", "add").acquire("T1", "m").read("T1", "x");
+        b.write("T1", "x").release("T1", "m").end("T1");
+        b.read("T2", "x");
+        b.finish()
+    }
+
+    #[test]
+    fn clean_plan_delivers_everything() {
+        let run = run_plan(&trace(), EmptyTool::new(), &FaultPlan::clean());
+        assert_eq!(run.events_delivered, 7);
+        assert_eq!(run.ladder, DegradationLevel::Full);
+        assert_eq!(run.degraded_at, None);
+        assert_eq!(run.synthesized, 0);
+    }
+
+    #[test]
+    fn tool_panic_is_isolated_and_pinpointed() {
+        let run = run_plan(
+            &trace(),
+            PanicAt::new(EmptyTool::new(), 3),
+            &FaultPlan::tool_panic(3),
+        );
+        assert_eq!(run.ladder, DegradationLevel::RecorderOnly);
+        assert_eq!(run.degraded_at, Some(3));
+        let degraded: Vec<_> = run
+            .warnings
+            .iter()
+            .filter(|w| w.category == WarningCategory::Degraded)
+            .collect();
+        assert_eq!(degraded.len(), 1);
+        assert!(degraded[0].message.contains("event 3"), "{degraded:?}");
+    }
+
+    #[test]
+    fn truncation_cuts_delivery_but_still_flushes() {
+        let run = run_plan(&trace(), EmptyTool::new(), &FaultPlan::truncate(2));
+        assert_eq!(run.events_delivered, 2);
+        assert_eq!(run.ladder, DegradationLevel::Full);
+    }
+
+    #[test]
+    fn host_death_synthesizes_closing_events() {
+        // Cut after acquire+begin+read: one open txn, one held lock.
+        let run = run_plan(&trace(), EmptyTool::new(), &FaultPlan::host_death(3));
+        assert_eq!(run.synthesized, 2, "rel(m) and end(T1)");
+        assert_eq!(run.events_delivered, 5);
+    }
+
+    #[test]
+    fn builtin_plans_cover_every_fault_kind() {
+        let plans = FaultPlan::builtin(100);
+        assert!(plans.iter().any(|p| matches!(p.fault, Fault::None)));
+        assert!(plans
+            .iter()
+            .any(|p| matches!(p.fault, Fault::ToolPanic { .. })));
+        assert!(plans
+            .iter()
+            .any(|p| matches!(p.fault, Fault::TruncateStream { .. })));
+        assert!(plans.iter().any(|p| matches!(p.fault, Fault::Budget(_))));
+        assert!(plans
+            .iter()
+            .any(|p| matches!(p.fault, Fault::HostDeath { .. })));
+    }
+
+    #[test]
+    fn prefix_divergence_ignores_degraded_and_post_cut_warnings() {
+        let mk = |op_index: usize, category: WarningCategory, msg: &str| Warning {
+            tool: "t",
+            category,
+            label: None,
+            thread: ThreadId::new(0),
+            op_index,
+            message: msg.into(),
+            details: None,
+        };
+        let clean = vec![
+            mk(1, WarningCategory::Atomicity, "a"),
+            mk(9, WarningCategory::Atomicity, "late"),
+        ];
+        let faulted = vec![
+            mk(1, WarningCategory::Atomicity, "a"),
+            mk(2, WarningCategory::Degraded, "degraded"),
+        ];
+        assert_eq!(prefix_divergence(&clean, &faulted, 5), None);
+        let diverged = vec![mk(1, WarningCategory::Atomicity, "b")];
+        assert!(prefix_divergence(&clean, &diverged, 5).is_some());
+    }
+}

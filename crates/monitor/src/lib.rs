@@ -17,11 +17,26 @@
 //!   monitored live, the substitution this reproduction uses in place of
 //!   bytecode rewriting.
 
+//!
+//! Fault tolerance — the runtime is designed to be attached to a live
+//! service, so it must never crash, deadlock, or OOM the host:
+//!
+//! * [`budget`] — [`ResourceBudget`] caps and the [`DegradationLevel`]
+//!   ladder the runtime steps down when a cap trips;
+//! * [`chaos`] — declarative [`chaos::FaultPlan`] fault injection plus a
+//!   panic-isolating offline replay driver, used by the chaos test suite
+//!   and the `chaos` benchmark binary.
+
+pub mod budget;
+pub mod chaos;
 pub mod filter;
 pub mod shim;
 pub mod spec;
 pub mod tool;
 
+pub use budget::{DegradationLevel, ResourceBudget};
+pub use chaos::{Fault, FaultPlan};
 pub use filter::{ReentrantLockFilter, SpecFilter, ThreadLocalFilter};
+pub use shim::RuntimeTelemetry;
 pub use spec::AtomicitySpec;
 pub use tool::{run_tool, EmptyTool, Tool, ToolChain, Warning, WarningCategory};

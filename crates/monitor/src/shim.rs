@@ -27,11 +27,36 @@
 //! assert_eq!(trace.len(), 4); // begin, rd, wr, end
 //! ```
 
-use crate::tool::{Tool, Warning};
+use crate::budget::{DegradationLevel, ResourceBudget};
+use crate::tool::{Tool, Warning, WarningCategory};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use velodrome_events::{Label, LockId, Op, ThreadId, Trace, VarId};
+
+/// Fault-tolerance telemetry of a [`Runtime`]: the ladder state, what
+/// tripped, and when. Reading it is the supported way to tell whether the
+/// analysis behind a run was degraded (and from which event onward).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeTelemetry {
+    /// Current degradation-ladder state of the runtime.
+    pub ladder: DegradationLevel,
+    /// Events observed (emitted by shims or synthesized by `finish`).
+    pub events_seen: u64,
+    /// Tool callbacks that panicked (the tool is quarantined on the first).
+    pub tool_panics: u64,
+    /// Events not retained in the replay trace because the trace budget
+    /// tripped.
+    pub trace_events_dropped: u64,
+    /// Ladder transitions taken.
+    pub degradations: u64,
+    /// `End`/`Release` events synthesized by [`Runtime::finish`] for
+    /// threads that died inside transactions or while holding locks.
+    pub synthesized_events: u64,
+    /// Event index of the first ladder transition, if any.
+    pub degraded_at: Option<usize>,
+}
 
 struct RuntimeState {
     trace: Trace,
@@ -43,16 +68,162 @@ struct RuntimeState {
     next_lock: u32,
     labels: HashMap<String, Label>,
     finished: bool,
+    budget: ResourceBudget,
+    telemetry: RuntimeTelemetry,
+    /// `false` once the replay-trace budget has tripped.
+    retain_trace: bool,
+    /// Per-thread count of currently open atomic blocks.
+    open_txns: HashMap<ThreadId, u32>,
+    /// Per-thread locks currently held, in acquisition order.
+    held_locks: HashMap<ThreadId, Vec<LockId>>,
 }
 
 impl RuntimeState {
     fn emit(&mut self, op: Op) {
         assert!(!self.finished, "event emitted after Runtime::finish");
-        let index = self.trace.len();
-        self.trace.push(op);
-        if let Some(tool) = &mut self.tool {
-            tool.op(index, op);
+        let index = self.telemetry.events_seen as usize;
+        self.telemetry.events_seen += 1;
+
+        // Track open transactions and held locks so `finish` can synthesize
+        // the implied closing events for threads that never got there.
+        match op {
+            Op::Begin { t, .. } => *self.open_txns.entry(t).or_insert(0) += 1,
+            Op::End { t } => {
+                if let Some(depth) = self.open_txns.get_mut(&t) {
+                    *depth = depth.saturating_sub(1);
+                }
+            }
+            Op::Acquire { t, m } => self.held_locks.entry(t).or_default().push(m),
+            Op::Release { t, m } => {
+                if let Some(held) = self.held_locks.get_mut(&t) {
+                    if let Some(pos) = held.iter().rposition(|&h| h == m) {
+                        held.remove(pos);
+                    }
+                }
+            }
+            _ => {}
         }
+
+        if self.retain_trace
+            && self.budget.max_trace_events > 0
+            && self.trace.len() >= self.budget.max_trace_events
+        {
+            self.retain_trace = false;
+            self.degrade(
+                DegradationLevel::TraceDropped,
+                op.tid(),
+                index,
+                format!(
+                    "replay-trace budget exhausted at event {index}: {} events retained, \
+                     further events are analyzed but not recorded",
+                    self.trace.len()
+                ),
+            );
+        }
+        if self.retain_trace {
+            self.trace.push(op);
+        } else {
+            self.telemetry.trace_events_dropped += 1;
+        }
+
+        // Panic isolation: a crashing back-end must never take the host
+        // down. The runtime's own state is consistent at this point (the
+        // closure touches only the tool), so `AssertUnwindSafe` is sound,
+        // and parking_lot mutexes do not poison.
+        let panicked = match self.tool.as_mut() {
+            Some(tool) => catch_unwind(AssertUnwindSafe(|| tool.op(index, op))).err(),
+            None => None,
+        };
+        if let Some(payload) = panicked {
+            self.quarantine_tool(op.tid(), index, &payload);
+        }
+    }
+
+    /// Steps down the degradation ladder (transitions are monotonic),
+    /// counting the transition and surfacing it as a `Degraded` warning.
+    fn degrade(&mut self, to: DegradationLevel, t: ThreadId, index: usize, reason: String) {
+        if to <= self.telemetry.ladder {
+            return;
+        }
+        self.telemetry.ladder = to;
+        self.telemetry.degradations += 1;
+        if self.telemetry.degraded_at.is_none() {
+            self.telemetry.degraded_at = Some(index);
+        }
+        self.warnings.push(Warning {
+            tool: "runtime",
+            category: WarningCategory::Degraded,
+            label: None,
+            thread: t,
+            op_index: index,
+            message: format!("degraded to {to}: {reason}"),
+            details: None,
+        });
+    }
+
+    /// Quarantines a panicked tool: warnings it accumulated before the
+    /// panic are salvaged, the tool is removed (and dropped under its own
+    /// panic guard), the runtime degrades to recorder-only mode, and the
+    /// panic payload is preserved in the `Degraded` warning.
+    fn quarantine_tool(&mut self, t: ThreadId, index: usize, payload: &(dyn std::any::Any + Send)) {
+        self.telemetry.tool_panics += 1;
+        let mut tool = self.tool.take();
+        let name = tool.as_ref().map(|tl| tl.name()).unwrap_or("tool");
+        let reason = format!(
+            "tool `{name}` panicked at event {index}: {}",
+            panic_message(payload)
+        );
+        // Salvage the verdicts the tool reached before panicking — the
+        // byte-identical-prefix guarantee depends on not losing them.
+        if let Some(tl) = tool.as_mut() {
+            if let Ok(salvaged) = catch_unwind(AssertUnwindSafe(|| tl.take_warnings())) {
+                self.warnings.extend(salvaged);
+            }
+        }
+        // Dropping the tool may itself panic; isolate that too.
+        let _ = catch_unwind(AssertUnwindSafe(move || drop(tool)));
+        self.degrade(DegradationLevel::RecorderOnly, t, index, reason);
+    }
+
+    /// Synthesizes the events implied by threads that are still inside
+    /// open transactions or holding locks: per thread (in identifier
+    /// order), releases in reverse acquisition order, then one `End` per
+    /// open block. Synthesized events flow through the normal `emit` path
+    /// (so an online tool observes them) and are flagged in the trace.
+    fn synthesize_closing_events(&mut self) {
+        let mut threads: Vec<ThreadId> = self
+            .held_locks
+            .iter()
+            .filter(|(_, held)| !held.is_empty())
+            .map(|(&t, _)| t)
+            .chain(
+                self.open_txns
+                    .iter()
+                    .filter(|(_, &depth)| depth > 0)
+                    .map(|(&t, _)| t),
+            )
+            .collect();
+        threads.sort_by_key(|t| t.raw());
+        threads.dedup();
+        for t in threads {
+            let held = self.held_locks.get(&t).cloned().unwrap_or_default();
+            for &m in held.iter().rev() {
+                self.emit_synthesized(Op::Release { t, m });
+            }
+            let depth = self.open_txns.get(&t).copied().unwrap_or(0);
+            for _ in 0..depth {
+                self.emit_synthesized(Op::End { t });
+            }
+        }
+    }
+
+    fn emit_synthesized(&mut self, op: Op) {
+        let before = self.trace.len();
+        self.emit(op);
+        if self.trace.len() > before {
+            self.trace.mark_synthesized(before);
+        }
+        self.telemetry.synthesized_events += 1;
     }
 
     fn current_thread(&mut self) -> ThreadId {
@@ -78,8 +249,20 @@ pub struct Runtime {
     state: Arc<Mutex<RuntimeState>>,
 }
 
+/// Renders a panic payload (the `Box<dyn Any>` from `catch_unwind`) as a
+/// human-readable message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
 impl Runtime {
-    fn with_tool(tool: Option<Box<dyn Tool + Send>>) -> Self {
+    fn with_tool(tool: Option<Box<dyn Tool + Send>>, budget: ResourceBudget) -> Self {
         Self {
             state: Arc::new(Mutex::new(RuntimeState {
                 trace: Trace::new(),
@@ -91,19 +274,46 @@ impl Runtime {
                 next_lock: 0,
                 labels: HashMap::new(),
                 finished: false,
+                budget,
+                telemetry: RuntimeTelemetry::default(),
+                retain_trace: true,
+                open_txns: HashMap::new(),
+                held_locks: HashMap::new(),
             })),
         }
     }
 
     /// Creates a runtime that records the trace for offline analysis.
     pub fn recorder() -> Self {
-        Self::with_tool(None)
+        Self::with_tool(None, ResourceBudget::UNLIMITED)
     }
 
     /// Creates a runtime that records the trace *and* feeds each event to
     /// `tool` online, under the event lock.
     pub fn online(tool: impl Tool + Send + 'static) -> Self {
-        Self::with_tool(Some(Box::new(tool)))
+        Self::with_tool(Some(Box::new(tool)), ResourceBudget::UNLIMITED)
+    }
+
+    /// Like [`Runtime::online`], with an explicit [`ResourceBudget`]. The
+    /// runtime enforces `max_trace_events` (trace retention); analysis-side
+    /// budgets are enforced by the tool itself.
+    pub fn online_with_budget(tool: impl Tool + Send + 'static, budget: ResourceBudget) -> Self {
+        Self::with_tool(Some(Box::new(tool)), budget)
+    }
+
+    /// Like [`Runtime::recorder`], with an explicit [`ResourceBudget`].
+    pub fn recorder_with_budget(budget: ResourceBudget) -> Self {
+        Self::with_tool(None, budget)
+    }
+
+    /// Current fault-tolerance telemetry (ladder state, panics, drops).
+    pub fn telemetry(&self) -> RuntimeTelemetry {
+        self.state.lock().telemetry
+    }
+
+    /// Current degradation-ladder state of the runtime.
+    pub fn ladder(&self) -> DegradationLevel {
+        self.state.lock().telemetry.ladder
     }
 
     /// Allocates a new instrumented shared variable initialized to `value`.
@@ -219,14 +429,48 @@ impl Runtime {
     /// Finishes monitoring: flushes the online tool (if any) and returns the
     /// recorded trace together with all warnings produced.
     ///
-    /// Further event emission panics.
+    /// # Semantics
+    ///
+    /// * **Idempotent.** The first call returns the trace and warnings;
+    ///   subsequent calls are no-ops returning an empty trace and no
+    ///   warnings (they never panic, so racing shutdown paths are safe).
+    /// * **Open transactions and held locks.** Threads that died (or were
+    ///   abandoned) inside an atomic block or while holding a [`TLock`]
+    ///   leave the event stream dangling. `finish` synthesizes the implied
+    ///   closing events — per thread in identifier order, `rel` for each
+    ///   held lock in reverse acquisition order, then one `end` per open
+    ///   block — feeds them through the online tool like real events, and
+    ///   flags them in the trace ([`Trace::synthesized`]). This keeps the
+    ///   trace well-formed for replay and lets the analysis close its
+    ///   transactions, at the cost of treating the truncated block as if it
+    ///   had completed (the sound direction: no violation is invented).
+    /// * **Panic isolation.** Tool flush callbacks run under the same
+    ///   panic guard as event callbacks; a panicking tool is quarantined
+    ///   and reported as a `Degraded` warning instead of unwinding into
+    ///   the host.
+    ///
+    /// Further event *emission* after `finish` panics (emitting into a
+    /// finished runtime is a host bug, not a tool fault).
     pub fn finish(&self) -> (Trace, Vec<Warning>) {
         let mut st = self.state.lock();
+        if st.finished {
+            return (Trace::new(), Vec::new());
+        }
+        st.synthesize_closing_events();
         st.finished = true;
         if let Some(mut tool) = st.tool.take() {
-            tool.end_of_trace();
-            let w = tool.take_warnings();
-            st.warnings.extend(w);
+            let index = st.telemetry.events_seen as usize;
+            let flushed = catch_unwind(AssertUnwindSafe(|| {
+                tool.end_of_trace();
+                tool.take_warnings()
+            }));
+            match flushed {
+                Ok(w) => st.warnings.extend(w),
+                Err(payload) => {
+                    st.tool = Some(tool);
+                    st.quarantine_tool(ThreadId::new(0), index, &payload);
+                }
+            }
         }
         (
             std::mem::take(&mut st.trace),

@@ -20,6 +20,12 @@ pub enum WarningCategory {
     Race,
     /// An atomicity (serializability) violation.
     Atomicity,
+    /// The analysis lost fidelity: a tool panicked and was quarantined, or
+    /// a [`ResourceBudget`](crate::budget::ResourceBudget) tripped and the
+    /// runtime stepped down the
+    /// [`DegradationLevel`](crate::budget::DegradationLevel) ladder. The
+    /// warning's `op_index` is the event at which fidelity was lost.
+    Degraded,
     /// Any other analysis-specific diagnostic.
     Other,
 }
@@ -29,6 +35,7 @@ impl fmt::Display for WarningCategory {
         match self {
             WarningCategory::Race => write!(f, "race"),
             WarningCategory::Atomicity => write!(f, "atomicity"),
+            WarningCategory::Degraded => write!(f, "degraded"),
             WarningCategory::Other => write!(f, "other"),
         }
     }

@@ -1,0 +1,232 @@
+//! Chaos suite: fault injection against the live runtime and the offline
+//! chaos driver, with the real Velodrome engine as the monitored tool.
+//!
+//! The contract under test (see `crates/monitor/src/chaos.rs`):
+//! 1. the host workload always completes — no injected fault may propagate
+//!    a panic to the caller or hang the run;
+//! 2. every verdict reached before the degradation point is byte-identical
+//!    to a clean run's;
+//! 3. telemetry pinpoints the exact event at which the run degraded.
+
+use proptest::prelude::*;
+use velodrome::{Velodrome, VelodromeConfig};
+use velodrome_events::Trace;
+use velodrome_monitor::chaos::{prefix_divergence, run_plan, PanicAt};
+use velodrome_monitor::shim::Runtime;
+use velodrome_monitor::{DegradationLevel, Fault, FaultPlan, ResourceBudget, WarningCategory};
+use velodrome_sim::{random_program, run_program, GenConfig, RandomScheduler};
+
+fn engine_for(trace: &Trace, budget: ResourceBudget) -> Velodrome {
+    Velodrome::with_config(VelodromeConfig {
+        names: trace.names().clone(),
+        dedup_per_label: false,
+        budget,
+        ..VelodromeConfig::default()
+    })
+}
+
+fn gen_trace(seed: u64, threads: usize, stmts: usize) -> Trace {
+    let cfg = GenConfig {
+        threads,
+        vars: 3,
+        locks: 2,
+        stmts_per_thread: stmts,
+        ..GenConfig::default()
+    };
+    let program = random_program(&cfg, seed);
+    run_program(&program, RandomScheduler::new(seed)).trace
+}
+
+/// The ladder rung a run's warnings declare: the highest level named by a
+/// `Degraded` warning, or `Full` if there is none.
+fn declared_ladder(warnings: &[velodrome_monitor::Warning]) -> DegradationLevel {
+    let mut ladder = DegradationLevel::Full;
+    for w in warnings {
+        if w.category != WarningCategory::Degraded {
+            continue;
+        }
+        for level in DegradationLevel::ALL {
+            if w.message.contains(&format!("degraded to {level}")) && level > ladder {
+                ladder = level;
+            }
+        }
+    }
+    ladder
+}
+
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    prop_oneof![
+        Just(FaultPlan::clean()),
+        (0usize..200).prop_map(FaultPlan::tool_panic),
+        (0usize..200).prop_map(FaultPlan::truncate),
+        (0usize..200).prop_map(FaultPlan::host_death),
+        (0usize..6, 0usize..6, 0usize..4).prop_map(|(alive, trace, vars)| {
+            FaultPlan::budget(ResourceBudget {
+                max_alive_nodes: alive,
+                max_trace_events: trace,
+                max_tracked_vars: vars,
+            })
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any fault plan on any generated program: the host never panics, the
+    /// run lands in the ladder state its warnings declare, and verdicts
+    /// before the degradation point match the clean run byte-for-byte.
+    #[test]
+    fn arbitrary_faults_never_escape_and_keep_prefix_fidelity(
+        seed in 0u64..500,
+        threads in 2usize..4,
+        plan in arb_plan(),
+    ) {
+        let trace = gen_trace(seed, threads, 6);
+        let clean = run_plan(&trace, engine_for(&trace, ResourceBudget::UNLIMITED), &FaultPlan::clean());
+        // Completing run_plan at all is guarantee 1 (no escaped panic).
+        let run = match plan.fault {
+            Fault::ToolPanic { at } => run_plan(
+                &trace,
+                PanicAt::new(engine_for(&trace, plan.budget_of()), at),
+                &plan,
+            ),
+            _ => run_plan(&trace, engine_for(&trace, plan.budget_of()), &plan),
+        };
+
+        // Guarantee 3: if anything degraded, telemetry names the event.
+        let first_degraded = run
+            .warnings
+            .iter()
+            .filter(|w| w.category == WarningCategory::Degraded)
+            .map(|w| w.op_index)
+            .min();
+        let degraded_at = run.degraded_at.or(first_degraded);
+        let declared = declared_ladder(&run.warnings);
+        match plan.fault {
+            Fault::ToolPanic { at } if at < trace.len() => {
+                prop_assert_eq!(run.ladder, DegradationLevel::RecorderOnly);
+                prop_assert_eq!(run.degraded_at, Some(at));
+            }
+            Fault::ToolPanic { .. } | Fault::None | Fault::TruncateStream { .. } => {
+                prop_assert_eq!(run.ladder, DegradationLevel::Full);
+            }
+            Fault::HostDeath { .. } => {
+                // Synthesized closers can themselves hit nothing that
+                // degrades an unbudgeted engine.
+                prop_assert_eq!(run.ladder, DegradationLevel::Full);
+            }
+            Fault::Budget(_) => {
+                // The engine's own transitions are declared in warnings;
+                // the driver stays at Full unless the tool panicked.
+                prop_assert!(declared == DegradationLevel::Full || degraded_at.is_some());
+            }
+        }
+        if declared != DegradationLevel::Full {
+            prop_assert!(degraded_at.is_some(), "degradation must be pinpointed");
+        }
+
+        // Guarantee 2: byte-identical verdict prefix.
+        let before = match (plan.fault, degraded_at) {
+            (Fault::TruncateStream { at }, d) | (Fault::HostDeath { at }, d) => {
+                at.min(d.unwrap_or(usize::MAX))
+            }
+            (_, Some(d)) => d,
+            (_, None) => usize::MAX,
+        };
+        let divergence = prefix_divergence(&clean.warnings, &run.warnings, before);
+        prop_assert!(divergence.is_none(), "{}: {:?}", plan, divergence);
+    }
+}
+
+#[test]
+fn double_finish_is_idempotent() {
+    let rt = Runtime::online(Velodrome::new());
+    rt.atomic("work", || {
+        let x = rt.shared("x", 0i32);
+        x.set(x.get() + 1);
+    });
+    let (trace, warnings) = rt.finish();
+    assert!(trace.len() >= 4, "begin/read/write/end recorded");
+    let (trace2, warnings2) = rt.finish();
+    assert_eq!(trace2.len(), 0, "second finish returns an empty trace");
+    assert!(warnings2.is_empty(), "second finish returns no warnings");
+    // The first finish's results are unaffected.
+    assert!(warnings
+        .iter()
+        .all(|w| w.category != WarningCategory::Degraded));
+}
+
+#[test]
+fn host_death_mid_transaction_synthesizes_closers() {
+    let rt = Runtime::recorder();
+    let lock = rt.lock("m", ());
+    let guard = lock.lock();
+    let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        rt.atomic("doomed", || panic!("host thread dies mid-transaction"))
+    }));
+    assert!(boom.is_err(), "the host panic itself propagates");
+    // The open transaction (and the still-held lock) are closed by finish.
+    std::mem::forget(guard); // simulate a guard lost to the dead thread
+    let (trace, warnings) = rt.finish();
+    let synthesized: Vec<usize> = trace.synthesized().to_vec();
+    assert!(
+        synthesized.len() >= 2,
+        "implied end and release are synthesized and flagged: {synthesized:?}"
+    );
+    let last = trace.len() - 1;
+    assert!(trace.is_synthesized(last));
+    assert!(warnings.is_empty(), "recorder mode has no tool to warn");
+}
+
+#[test]
+fn live_tool_panic_is_quarantined_and_salvaged() {
+    // The wrapped engine panics at event index 2; the host must finish the
+    // workload untouched, and telemetry must pinpoint event 2.
+    let rt = Runtime::online(PanicAt::new(Velodrome::new(), 2));
+    for _ in 0..3 {
+        rt.atomic("work", || {
+            let x = rt.shared("x", 0i32);
+            x.set(x.get() + 1);
+        });
+    }
+    let telemetry = rt.telemetry();
+    assert_eq!(telemetry.tool_panics, 1);
+    assert_eq!(telemetry.degraded_at, Some(2));
+    assert_eq!(rt.ladder(), DegradationLevel::RecorderOnly);
+    let (trace, warnings) = rt.finish();
+    assert!(
+        trace.len() >= 12,
+        "recording continues after quarantine: {}",
+        trace.len()
+    );
+    let degraded: Vec<_> = warnings
+        .iter()
+        .filter(|w| w.category == WarningCategory::Degraded)
+        .collect();
+    assert_eq!(degraded.len(), 1);
+    assert!(degraded[0].message.contains("event 2"), "{degraded:?}");
+}
+
+#[test]
+fn trace_budget_degrades_to_trace_dropped() {
+    let rt = Runtime::recorder_with_budget(ResourceBudget {
+        max_trace_events: 3,
+        ..ResourceBudget::UNLIMITED
+    });
+    for _ in 0..4 {
+        rt.atomic("work", || {
+            let x = rt.shared("x", 0i32);
+            x.set(x.get() + 1);
+        });
+    }
+    assert_eq!(rt.ladder(), DegradationLevel::TraceDropped);
+    let telemetry = rt.telemetry();
+    assert!(telemetry.trace_events_dropped > 0);
+    assert!(telemetry.degraded_at.is_some());
+    let (trace, warnings) = rt.finish();
+    assert_eq!(trace.len(), 3, "retained trace stays within budget");
+    assert!(warnings
+        .iter()
+        .any(|w| w.category == WarningCategory::Degraded));
+}

@@ -39,5 +39,5 @@ pub use ir::{Program, ProgramBuilder, Stmt, ThreadBody};
 pub use replay::ReplayScheduler;
 pub use sched::{
     AdversarialScheduler, ExemptThreads, NeverDelay, PauseAdvisor, PctScheduler, RandomScheduler,
-    RoundRobin, SchedView, Scheduler, Sticky,
+    RoundRobin, SchedView, Scheduler, Sticky, WatchdogStats,
 };

@@ -257,22 +257,68 @@ impl<A: PauseAdvisor> PauseAdvisor for ExemptThreads<A> {
     }
 }
 
+/// Telemetry of the [`AdversarialScheduler`]'s pause watchdog: why pauses
+/// ended, so a run can prove no thread was starved indefinitely.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WatchdogStats {
+    /// Pauses issued on the advisor's suspicion.
+    pub pauses_issued: u64,
+    /// Pause waivers because the paused thread was the *only* runnable one.
+    pub forced_sole_runnable: u64,
+    /// Pause waivers because every runnable thread was paused at once.
+    pub forced_all_paused: u64,
+    /// Pause waivers because the global pause-step deadline expired.
+    pub forced_deadline: u64,
+}
+
+impl WatchdogStats {
+    /// Total forced resumes, across all reasons.
+    pub fn forced_total(&self) -> u64 {
+        self.forced_sole_runnable + self.forced_all_paused + self.forced_deadline
+    }
+}
+
 /// The paper's adversarial scheduler: wraps an inner scheduler and suspends
 /// threads flagged by a [`PauseAdvisor`] for `pause_steps` scheduler steps
-/// (the analogue of the paper's 100 ms delay). If every runnable thread is
-/// paused, the pause is waived — the equivalent of the delay timing out —
-/// so the run always makes progress.
+/// (the analogue of the paper's 100 ms delay).
+///
+/// A *pause watchdog* guarantees the pause logic can never deadlock or
+/// starve the host workload:
+///
+/// * if every runnable thread is paused (including the sole-runnable
+///   special case), all pauses are waived immediately — the equivalent of
+///   the paper's delay timing out;
+/// * a global pause-step deadline (default `4 × pause_steps + 16`, counted
+///   from the first outstanding pause) force-resumes every paused thread
+///   even when other threads are runnable, bounding the total delay any
+///   configuration can inject;
+/// * every force-resumed thread backs off exponentially: each forced
+///   resume halves that thread's subsequent pause lengths, so a thread the
+///   workload keeps depending on stops being re-paused for long. Serving a
+///   full pause to expiry resets the backoff.
+///
+/// Forced resumes are counted per reason in [`WatchdogStats`]. With no
+/// forced resume the scheduling stream is identical to the un-hardened
+/// scheduler's.
 #[derive(Debug)]
 pub struct AdversarialScheduler<A, S> {
     advisor: A,
     inner: S,
     pause_steps: u64,
+    /// Global deadline: the longest any pause episode may last.
+    deadline: u64,
+    /// Step at which the current pause episode hits the deadline; set when
+    /// the first pause of an episode is issued, cleared when none remain.
+    deadline_at: Option<u64>,
     /// Thread → step until which it is paused.
     paused: HashMap<ThreadId, u64>,
+    /// Thread → number of consecutive forced resumes (exponent of the
+    /// pause-length backoff).
+    backoff: HashMap<ThreadId, u32>,
     /// Threads that already served one pause for their current suspicion;
     /// cleared when the advisor stops flagging them.
     served: HashMap<ThreadId, bool>,
-    delays_issued: u64,
+    stats: WatchdogStats,
 }
 
 impl<A: PauseAdvisor, S: Scheduler> AdversarialScheduler<A, S> {
@@ -282,20 +328,45 @@ impl<A: PauseAdvisor, S: Scheduler> AdversarialScheduler<A, S> {
             advisor,
             inner,
             pause_steps,
+            deadline: pause_steps.saturating_mul(4).saturating_add(16),
+            deadline_at: None,
             paused: HashMap::new(),
+            backoff: HashMap::new(),
             served: HashMap::new(),
-            delays_issued: 0,
+            stats: WatchdogStats::default(),
         }
+    }
+
+    /// Overrides the global pause-step deadline (default
+    /// `4 × pause_steps + 16`).
+    pub fn with_deadline(mut self, deadline: u64) -> Self {
+        self.deadline = deadline;
+        self
     }
 
     /// Number of pauses issued so far.
     pub fn delays_issued(&self) -> u64 {
-        self.delays_issued
+        self.stats.pauses_issued
+    }
+
+    /// Watchdog telemetry: pauses issued and forced resumes by reason.
+    pub fn watchdog_stats(&self) -> WatchdogStats {
+        self.stats
     }
 
     /// Consumes the scheduler, returning the advisor.
     pub fn into_advisor(self) -> A {
         self.advisor
+    }
+
+    /// Waives every outstanding pause, charging one backoff step to each
+    /// force-resumed thread.
+    fn force_resume_all(&mut self) {
+        for &t in self.paused.keys() {
+            *self.backoff.entry(t).or_insert(0) += 1;
+        }
+        self.paused.clear();
+        self.deadline_at = None;
     }
 }
 
@@ -308,25 +379,55 @@ impl<A: PauseAdvisor, S: Scheduler> Scheduler for AdversarialScheduler<A, S> {
                     if !self.paused.contains_key(&t)
                         && !self.served.get(&t).copied().unwrap_or(false)
                     {
-                        self.paused.insert(t, view.step + self.pause_steps);
+                        // Exponential backoff: each forced resume this
+                        // thread has suffered halves its pause length.
+                        let steps = self.pause_steps >> self.backoff.get(&t).copied().unwrap_or(0);
+                        self.paused.insert(t, view.step.saturating_add(steps));
                         self.served.insert(t, true);
-                        self.delays_issued += 1;
+                        self.stats.pauses_issued += 1;
+                        if self.deadline_at.is_none() {
+                            self.deadline_at = Some(view.step.saturating_add(self.deadline));
+                        }
                     }
                 } else {
                     self.served.remove(&t);
                 }
             }
         }
-        // Drop expired pauses.
         let now = view.step;
-        self.paused.retain(|_, until| *until > now);
+        // Global deadline: no pause episode may outlive it, no matter how
+        // large `pause_steps` is.
+        if self.deadline_at.is_some_and(|d| now >= d) && !self.paused.is_empty() {
+            self.stats.forced_deadline += 1;
+            self.force_resume_all();
+        }
+        // Drop expired pauses; a pause served to expiry clears the backoff.
+        let expired: Vec<ThreadId> = self
+            .paused
+            .iter()
+            .filter(|&(_, &until)| until <= now)
+            .map(|(&t, _)| t)
+            .collect();
+        for t in expired {
+            self.paused.remove(&t);
+            self.backoff.remove(&t);
+        }
+        if self.paused.is_empty() {
+            self.deadline_at = None;
+        }
 
         let available: Vec<usize> = (0..view.runnable.len())
             .filter(|&i| !self.paused.contains_key(&view.runnable[i]))
             .collect();
         if available.is_empty() {
-            // Everyone is paused: waive (the paper's delay timeout).
-            self.paused.clear();
+            // Everyone runnable is paused: waive (the paper's delay
+            // timeout), counting why.
+            if view.runnable.len() == 1 {
+                self.stats.forced_sole_runnable += 1;
+            } else {
+                self.stats.forced_all_paused += 1;
+            }
+            self.force_resume_all();
             return self.inner.pick(view);
         }
         let filtered_ids: Vec<ThreadId> = available.iter().map(|&i| view.runnable[i]).collect();
@@ -490,5 +591,93 @@ mod tests {
         // t0 is the only runnable thread: pause must be waived.
         let i = s.pick(&view(&ids, &ops, 0));
         assert_eq!(i, 0);
+        assert_eq!(s.watchdog_stats().forced_sole_runnable, 1);
+        assert_eq!(s.watchdog_stats().forced_total(), 1);
+    }
+
+    struct DelayAll;
+    impl PauseAdvisor for DelayAll {
+        fn observe(&mut self, _i: usize, _op: Op) {}
+        fn should_delay(&mut self, _t: ThreadId, _op: Op) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn watchdog_counts_all_paused_waiver() {
+        let mut s = AdversarialScheduler::new(DelayAll, RoundRobin::new(), 1_000);
+        let ids = [t(0), t(1)];
+        let w = |i| {
+            Some(Op::Write {
+                t: t(i),
+                x: VarId::new(0),
+            })
+        };
+        let ops = [w(0), w(1)];
+        // Both threads get flagged and paused at once: the waiver must fire
+        // and progress must continue.
+        let i = s.pick(&view(&ids, &ops, 0));
+        assert!(i < 2);
+        let st = s.watchdog_stats();
+        assert_eq!(st.pauses_issued, 2);
+        assert_eq!(st.forced_all_paused, 1);
+        assert_eq!(st.forced_sole_runnable, 0);
+    }
+
+    #[test]
+    fn watchdog_deadline_force_resumes_paused_thread() {
+        // Pathologically long pause, but a short global deadline: t0 must be
+        // force-resumed once the deadline expires even though t1 could keep
+        // the run "progressing" forever.
+        let mut s =
+            AdversarialScheduler::new(DelayT0, RoundRobin::new(), u64::MAX).with_deadline(5);
+        let ids = [t(0), t(1)];
+        let w = |i| {
+            Some(Op::Write {
+                t: t(i),
+                x: VarId::new(0),
+            })
+        };
+        let ops = [w(0), w(1)];
+        for step in 0..5 {
+            let i = s.pick(&view(&ids, &ops, step));
+            assert_eq!(ids[i], t(1), "t0 paused until the deadline");
+        }
+        // Deadline reached (issued at step 0 ⇒ deadline_at = 5): t0 runs.
+        let i = s.pick(&view(&ids, &ops, 5));
+        assert_eq!(ids[i], t(0), "deadline forces t0 back in");
+        let st = s.watchdog_stats();
+        assert_eq!(st.forced_deadline, 1);
+        assert_eq!(st.pauses_issued, 1);
+    }
+
+    #[test]
+    fn watchdog_backoff_halves_repeat_pauses() {
+        // pause_steps 8 with a sole runnable thread: every pick force-resumes
+        // t0, and each forced resume halves the next pause. The scheduler
+        // must keep making progress (picking t0) the whole time.
+        let mut s = AdversarialScheduler::new(DelayT0, RoundRobin::new(), 8);
+        let ids = [t(0)];
+        let ops = [Some(Op::Write {
+            t: t(0),
+            x: VarId::new(0),
+        })];
+        for step in 0..6 {
+            // Un-flagging between steps clears `served` so t0 is re-paused.
+            s.served.clear();
+            assert_eq!(s.pick(&view(&ids, &ops, step)), 0, "always progresses");
+        }
+        // Steps 0–3 pause for 8, 4, 2, 1 steps and are force-waived each
+        // time (backoff 1..=4). At step 4 the effective pause is 8 >> 4 = 0:
+        // it expires instantly — no forced resume needed, backoff resets —
+        // and step 5 starts the cycle over with a forced full-length pause.
+        let st = s.watchdog_stats();
+        assert_eq!(st.pauses_issued, 6);
+        assert_eq!(st.forced_sole_runnable, 5);
+        assert_eq!(
+            s.backoff.get(&t(0)).copied(),
+            Some(1),
+            "reset then re-armed"
+        );
     }
 }

@@ -3,6 +3,7 @@
 
 use velodrome_atomizer::{AdvisorConfig, RmwAdvisor};
 use velodrome_events::{Op, ThreadId};
+pub use velodrome_sim::WatchdogStats;
 use velodrome_sim::{AdversarialScheduler, ExemptThreads, PauseAdvisor, RandomScheduler};
 
 /// Adapts [`RmwAdvisor`] to the simulator's [`PauseAdvisor`] interface.
@@ -34,6 +35,14 @@ impl PauseAdvisor for AtomizerAdvisor {
 /// A seeded random scheduler augmented with Atomizer-guided pauses — the
 /// configuration the paper uses to raise defect-detection coverage.
 /// `pause_steps` is the analogue of the paper's 100 ms suspension.
+///
+/// The returned scheduler carries a pause watchdog (see
+/// [`velodrome_sim::AdversarialScheduler`]): paused threads are
+/// force-resumed — with exponential backoff — when they are the sole
+/// runnable thread or when the global pause-step deadline expires, so no
+/// `pause_steps` value can hang the workload. Inspect
+/// [`WatchdogStats`] via `watchdog_stats()` (pass the scheduler by `&mut`
+/// to `run_program` to keep ownership).
 pub fn adversarial_scheduler(
     seed: u64,
     pause_steps: u64,
@@ -114,6 +123,36 @@ mod tests {
         assert!(
             hits_adversarial >= 14,
             "pausing should catch most seeds: {hits_adversarial}"
+        );
+    }
+
+    /// A pathological pause length must not hang the workload: once the
+    /// short-lived partner thread exits, the flagged RMW thread is the sole
+    /// runnable one, and the watchdog force-resumes it.
+    #[test]
+    fn watchdog_survives_pathological_pause_length() {
+        let program = {
+            let mut b = ProgramBuilder::new();
+            let x = b.var("x");
+            let inc = b.label("increment");
+            b.worker(vec![Stmt::Loop(
+                8,
+                vec![Stmt::Atomic(inc, vec![Stmt::Read(x), Stmt::Write(x)])],
+            )]);
+            b.worker(vec![Stmt::Write(x)]);
+            b.finish()
+        };
+        let mut sched = adversarial_scheduler(1, u64::MAX);
+        let result = run_program(&program, &mut sched);
+        assert!(
+            !result.trace.is_empty(),
+            "workload must complete despite unbounded pauses"
+        );
+        let st = sched.watchdog_stats();
+        assert!(st.pauses_issued >= 1, "the RMW thread was flagged");
+        assert!(
+            st.forced_total() >= 1,
+            "watchdog forced at least one resume: {st:?}"
         );
     }
 }

@@ -18,6 +18,26 @@ cargo clippy --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test -q
 
+echo "==> chaos suite (fault injection against the live runtime)"
+cargo test -q -p velodrome-monitor --test chaos
+
+echo "==> chaos smoke (fixed-seed fault-plan set, asserts the contract)"
+cargo run --release -p velodrome-bench --bin chaos >/dev/null
+
+echo "==> malformed trace input exits with code 4"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+printf '{"truncated' > "$tmp/bad.json"
+set +e
+cargo run --release -q -p velodrome-cli -- trace "$tmp/bad.json" >/dev/null 2>"$tmp/err"
+code=$?
+set -e
+if [[ "$code" -ne 4 ]]; then
+    echo "expected exit code 4 for malformed input, got $code" >&2
+    cat "$tmp/err" >&2
+    exit 1
+fi
+
 if [[ "${1:-}" == "--with-bench" ]]; then
     echo "==> hotpath benchmark (asserts output identity + elision floor)"
     cargo run --release -p velodrome-bench --bin hotpath >/dev/null

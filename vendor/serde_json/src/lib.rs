@@ -133,10 +133,9 @@ impl<'a> Parser<'a> {
 
     fn peek(&mut self) -> Result<u8, Error> {
         self.skip_ws();
-        self.bytes
-            .get(self.pos)
-            .copied()
-            .ok_or_else(|| Error::custom("unexpected end of JSON input"))
+        self.bytes.get(self.pos).copied().ok_or_else(|| {
+            Error::custom(format!("unexpected end of JSON input at byte {}", self.pos))
+        })
     }
 
     fn expect(&mut self, b: u8) -> Result<(), Error> {
@@ -240,7 +239,10 @@ impl<'a> Parser<'a> {
         let mut out = String::new();
         loop {
             let Some(&b) = self.bytes.get(self.pos) else {
-                return Err(Error::custom("unterminated string"));
+                return Err(Error::custom(format!(
+                    "unterminated string at byte {}",
+                    self.pos
+                )));
             };
             match b {
                 b'"' => {
@@ -250,7 +252,10 @@ impl<'a> Parser<'a> {
                 b'\\' => {
                     self.pos += 1;
                     let Some(&esc) = self.bytes.get(self.pos) else {
-                        return Err(Error::custom("unterminated escape"));
+                        return Err(Error::custom(format!(
+                            "unterminated escape at byte {}",
+                            self.pos
+                        )));
                     };
                     self.pos += 1;
                     match esc {
@@ -282,17 +287,22 @@ impl<'a> Parser<'a> {
                             };
                             out.push(c.ok_or_else(|| Error::custom("invalid \\u escape"))?);
                         }
-                        _ => return Err(Error::custom("invalid escape character")),
+                        _ => {
+                            return Err(Error::custom(format!(
+                                "invalid escape character at byte {}",
+                                self.pos
+                            )))
+                        }
                     }
                 }
                 _ => {
                     // Consume one UTF-8 code point.
-                    let s = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| Error::custom("invalid UTF-8 in string"))?;
-                    let c = s
-                        .chars()
-                        .next()
-                        .ok_or_else(|| Error::custom("unterminated string"))?;
+                    let s = std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| {
+                        Error::custom(format!("invalid UTF-8 in string at byte {}", self.pos))
+                    })?;
+                    let c = s.chars().next().ok_or_else(|| {
+                        Error::custom(format!("unterminated string at byte {}", self.pos))
+                    })?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
