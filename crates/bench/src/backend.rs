@@ -6,6 +6,7 @@ use velodrome_atomizer::Atomizer;
 use velodrome_events::Trace;
 use velodrome_lockset::{Eraser, StrictTwoPhase};
 use velodrome_monitor::{run_tool, AtomicitySpec, EmptyTool, SpecFilter, Tool, Warning};
+use velodrome_telemetry::Telemetry;
 use velodrome_vclock::HbRaceDetector;
 
 /// The analysis back-ends of Table 1 (plus the no-merge Velodrome variant
@@ -82,10 +83,11 @@ impl RunOutcome {
     }
 }
 
-fn velodrome_config(trace: &Trace, merge: bool) -> VelodromeConfig {
+fn velodrome_config(trace: &Trace, merge: bool, telemetry: &Telemetry) -> VelodromeConfig {
     VelodromeConfig {
         merge,
         names: trace.names().clone(),
+        telemetry: telemetry.clone(),
         ..VelodromeConfig::default()
     }
 }
@@ -98,6 +100,19 @@ pub fn run(backend: Backend, trace: &Trace) -> RunOutcome {
 /// Runs `backend` over the trace; with a spec, `begin`/`end` markers of
 /// excluded blocks are filtered first (the Table 1 configuration).
 pub fn run_with_spec(backend: Backend, trace: &Trace, spec: Option<AtomicitySpec>) -> RunOutcome {
+    run_with_telemetry(backend, trace, spec, &Telemetry::disabled())
+}
+
+/// [`run_with_spec`] with a telemetry registry wired into the Velodrome
+/// variants. After the run the engine's statistics surface is mirrored into
+/// the registry (`publish_telemetry`), so callers can read final gauge
+/// values from a snapshot instead of the stats struct.
+pub fn run_with_telemetry(
+    backend: Backend,
+    trace: &Trace,
+    spec: Option<AtomicitySpec>,
+    telemetry: &Telemetry,
+) -> RunOutcome {
     fn timed<T: Tool>(
         backend: Backend,
         trace: &Trace,
@@ -140,12 +155,18 @@ pub fn run_with_spec(backend: Backend, trace: &Trace, spec: Option<AtomicitySpec
         Backend::Atomizer => timed(backend, trace, spec, Atomizer::new(), |_| None),
         Backend::S2pl => timed(backend, trace, spec, StrictTwoPhase::new(), |_| None),
         Backend::Velodrome => {
-            let tool = Velodrome::with_config(velodrome_config(trace, true));
-            timed(backend, trace, spec, tool, |t| Some(t.stats()))
+            let tool = Velodrome::with_config(velodrome_config(trace, true, telemetry));
+            timed(backend, trace, spec, tool, |t| {
+                t.publish_telemetry();
+                Some(t.stats())
+            })
         }
         Backend::VelodromeNoMerge => {
-            let tool = Velodrome::with_config(velodrome_config(trace, false));
-            timed(backend, trace, spec, tool, |t| Some(t.stats()))
+            let tool = Velodrome::with_config(velodrome_config(trace, false, telemetry));
+            timed(backend, trace, spec, tool, |t| {
+                t.publish_telemetry();
+                Some(t.stats())
+            })
         }
     }
 }

@@ -21,8 +21,9 @@ use velodrome::{Velodrome, VelodromeConfig};
 use velodrome_atomizer::Atomizer;
 use velodrome_events::{oracle, Trace, TraceStats};
 use velodrome_lockset::Eraser;
-use velodrome_monitor::{run_tool, Warning};
-use velodrome_sim::{run_program, RandomScheduler};
+use velodrome_monitor::{run_tool, Tool, Warning};
+use velodrome_sim::{run_program, RandomScheduler, WatchdogStats};
+use velodrome_telemetry::{JsonlExporter, SnapshotRing, Telemetry};
 use velodrome_vclock::HbRaceDetector;
 use velodrome_workloads::adversarial::adversarial_scheduler;
 
@@ -112,6 +113,8 @@ struct Options {
     json: bool,
     max_alive: usize,
     max_vars: usize,
+    metrics_out: Option<String>,
+    metrics_interval: u64,
 }
 
 fn parse(args: &[String]) -> Result<Options, CliError> {
@@ -119,6 +122,7 @@ fn parse(args: &[String]) -> Result<Options, CliError> {
         scale: 1,
         seed: 0,
         backend: "velodrome".into(),
+        metrics_interval: 10_000,
         ..Default::default()
     };
     for a in args {
@@ -146,6 +150,14 @@ fn parse(args: &[String]) -> Result<Options, CliError> {
                 .map_err(|_| err(format!("bad --max-alive: {v}")))?;
         } else if let Some(v) = a.strip_prefix("--max-vars=") {
             o.max_vars = v.parse().map_err(|_| err(format!("bad --max-vars: {v}")))?;
+        } else if let Some(v) = a.strip_prefix("--metrics-out=") {
+            o.metrics_out = Some(v.to_owned());
+        } else if let Some(v) = a.strip_prefix("--metrics-interval=") {
+            o.metrics_interval = v
+                .parse()
+                .ok()
+                .filter(|n| *n > 0)
+                .ok_or_else(|| err(format!("bad --metrics-interval (want events > 0): {v}")))?;
         } else if a.starts_with("--") {
             return Err(err(format!("unknown flag: {a}")));
         } else {
@@ -165,11 +177,15 @@ pub const USAGE: &str = "usage:
   velodrome info <workload|FILE> [--scale=N] [--seed=S]
   velodrome replay <workload> <FILE> [--scale=N]
   velodrome compare <workload|FILE> [--scale=N] [--seed=S]
+  velodrome metrics-verify <FILE>
 backends: velodrome (default), atomizer, eraser, hb-race, fasttrack, s2pl, all
 velodrome flags: --no-merge (naive Figure 2 rule), --no-gc,
   --max-alive=N / --max-vars=N (resource budgets; tripping one degrades the
   analysis down an explicit ladder instead of growing without bound)
 output flags: --dot (error graphs), --json (machine-readable warnings)
+metrics flags: --metrics-out=FILE (JSON Lines telemetry snapshots;
+  velodrome backend only), --metrics-interval=N (events per snapshot,
+  default 10000; a final snapshot is always written)
 exit codes: 0 ok, 2 usage error, 3 I/O error, 4 malformed input file";
 
 /// Executes a CLI invocation, returning the text to print on stdout.
@@ -187,6 +203,7 @@ pub fn execute(args: &[String]) -> Result<String, CliError> {
         "info" => info(&opts),
         "replay" => replay(&opts),
         "compare" => compare(&opts),
+        "metrics-verify" => metrics_verify(&opts),
         other => Err(err(format!("unknown command `{other}`\n{USAGE}"))),
     }
 }
@@ -212,17 +229,35 @@ fn load_workload(opts: &Options) -> Result<velodrome_workloads::Workload, CliErr
         .ok_or_else(|| err(format!("unknown workload `{name}`; try `velodrome list`")))
 }
 
-fn produce_trace(opts: &Options) -> Result<Trace, CliError> {
+/// Runs the selected workload and returns its trace plus the scheduler's
+/// watchdog statistics (all-zero under the random scheduler, which has no
+/// watchdog). The stats feed the `watchdog.*` gauges of `--metrics-out`.
+fn produce_trace(opts: &Options) -> Result<(Trace, WatchdogStats), CliError> {
+    produce_trace_with(opts, &Telemetry::disabled())
+}
+
+/// [`produce_trace`] with a telemetry registry: each scheduler decision is
+/// timed under `phase.scheduler_step`.
+fn produce_trace_with(
+    opts: &Options,
+    telemetry: &Telemetry,
+) -> Result<(Trace, WatchdogStats), CliError> {
+    use velodrome_sim::run_program_with_telemetry;
     let w = load_workload(opts)?;
-    let result = if opts.adversarial {
-        run_program(&w.program, adversarial_scheduler(opts.seed, 400))
+    let (result, watchdog) = if opts.adversarial {
+        let mut sched = adversarial_scheduler(opts.seed, 400);
+        let result = run_program_with_telemetry(&w.program, &mut sched, telemetry);
+        let watchdog = sched.watchdog_stats();
+        (result, watchdog)
     } else {
-        run_program(&w.program, RandomScheduler::new(opts.seed))
+        let result =
+            run_program_with_telemetry(&w.program, RandomScheduler::new(opts.seed), telemetry);
+        (result, WatchdogStats::default())
     };
     if result.deadlocked {
         return Err(err(format!("workload {} deadlocked", w.name)));
     }
-    Ok(result.trace)
+    Ok((result.trace, watchdog))
 }
 
 /// Warnings plus analysis-health notes (budget suppression, degradation)
@@ -232,8 +267,83 @@ struct Analysis {
     notes: Vec<String>,
 }
 
-fn analyze(trace: &Trace, opts: &Options) -> Result<Analysis, CliError> {
-    let velodrome = |trace: &Trace| {
+/// Drives the engine over the trace one operation at a time, mirroring the
+/// registry into a JSONL file every `interval` events (plus a final
+/// snapshot, so at least one line is always written). Also keeps the last
+/// few snapshots in a [`SnapshotRing`], matching how a long-running monitor
+/// would retain recent history.
+fn run_engine_metered(
+    engine: &mut Velodrome,
+    trace: &Trace,
+    telemetry: &Telemetry,
+    watchdog: &WatchdogStats,
+    path: &str,
+    interval: u64,
+) -> Result<(Vec<Warning>, u64), CliError> {
+    let file = std::fs::File::create(path).map_err(|e| io_err(format!("creating {path}: {e}")))?;
+    let mut exporter = JsonlExporter::new(std::io::BufWriter::new(file));
+    let mut ring = SnapshotRing::new(64);
+    let mut seq = 0u64;
+    let emit = |engine: &Velodrome,
+                events: u64,
+                exporter: &mut JsonlExporter<std::io::BufWriter<std::fs::File>>,
+                ring: &mut SnapshotRing,
+                seq: &mut u64|
+     -> Result<(), CliError> {
+        engine.publish_telemetry();
+        watchdog.publish(telemetry);
+        if let Some(snap) = telemetry.snapshot(*seq, events) {
+            exporter
+                .export(&snap)
+                .map_err(|e| io_err(format!("writing {path}: {e}")))?;
+            ring.push(snap);
+            *seq += 1;
+        }
+        Ok(())
+    };
+    for (i, op) in trace.iter() {
+        engine.op(i, op);
+        let events = i as u64 + 1;
+        if events % interval == 0 {
+            emit(engine, events, &mut exporter, &mut ring, &mut seq)?;
+        }
+    }
+    engine.end_of_trace();
+    emit(
+        engine,
+        trace.len() as u64,
+        &mut exporter,
+        &mut ring,
+        &mut seq,
+    )?;
+    Ok((engine.take_warnings(), exporter.lines_written()))
+}
+
+fn analyze(trace: &Trace, opts: &Options, watchdog: &WatchdogStats) -> Result<Analysis, CliError> {
+    let telemetry = if opts.metrics_out.is_some() {
+        Telemetry::registry()
+    } else {
+        Telemetry::disabled()
+    };
+    analyze_with(trace, opts, watchdog, &telemetry)
+}
+
+/// [`analyze`] against a caller-provided registry, so phases recorded
+/// before the analysis (e.g. `phase.scheduler_step` during trace
+/// production) appear in the same `--metrics-out` snapshots.
+fn analyze_with(
+    trace: &Trace,
+    opts: &Options,
+    watchdog: &WatchdogStats,
+    telemetry: &Telemetry,
+) -> Result<Analysis, CliError> {
+    if opts.metrics_out.is_some() && !matches!(opts.backend.as_str(), "velodrome" | "all") {
+        return Err(err(format!(
+            "--metrics-out requires the velodrome backend, not `{}`",
+            opts.backend
+        )));
+    }
+    let velodrome = |trace: &Trace| -> Result<Analysis, CliError> {
         let cfg = VelodromeConfig {
             names: trace.names().clone(),
             merge: !opts.no_merge,
@@ -243,12 +353,26 @@ fn analyze(trace: &Trace, opts: &Options) -> Result<Analysis, CliError> {
                 max_tracked_vars: opts.max_vars,
                 ..velodrome_monitor::ResourceBudget::UNLIMITED
             },
+            telemetry: telemetry.clone(),
             ..VelodromeConfig::default()
         };
         let mut engine = Velodrome::with_config(cfg);
-        let warnings = run_tool(&mut engine, trace);
-        let stats = engine.stats();
         let mut notes = Vec::new();
+        let warnings = if let Some(path) = opts.metrics_out.as_deref() {
+            let (warnings, lines) = run_engine_metered(
+                &mut engine,
+                trace,
+                telemetry,
+                watchdog,
+                path,
+                opts.metrics_interval,
+            )?;
+            notes.push(format!("{lines} metric snapshots written to {path}"));
+            warnings
+        } else {
+            run_tool(&mut engine, trace)
+        };
+        let stats = engine.stats();
         if stats.warnings_suppressed > 0 {
             notes.push(format!(
                 "{} warnings suppressed (budget)",
@@ -262,14 +386,14 @@ fn analyze(trace: &Trace, opts: &Options) -> Result<Analysis, CliError> {
                 stats.ladder, stats.degradations, stats.vars_quarantined
             ));
         }
-        Analysis { warnings, notes }
+        Ok(Analysis { warnings, notes })
     };
     let plain = |warnings: Vec<Warning>| Analysis {
         warnings,
         notes: Vec::new(),
     };
     Ok(match opts.backend.as_str() {
-        "velodrome" => velodrome(trace),
+        "velodrome" => velodrome(trace)?,
         "atomizer" => plain(run_tool(&mut Atomizer::new(), trace)),
         "eraser" => plain(run_tool(&mut Eraser::new(), trace)),
         "hb-race" => plain(run_tool(&mut HbRaceDetector::new(), trace)),
@@ -279,7 +403,7 @@ fn analyze(trace: &Trace, opts: &Options) -> Result<Analysis, CliError> {
             trace,
         )),
         "all" => {
-            let mut result = velodrome(trace);
+            let mut result = velodrome(trace)?;
             result
                 .warnings
                 .extend(run_tool(&mut Atomizer::new(), trace));
@@ -298,7 +422,7 @@ fn info(opts: &Options) -> Result<String, CliError> {
     // Accept a workload name or a recorded trace file.
     let arg = opts.positional.first().ok_or_else(|| err(USAGE))?;
     let trace = if velodrome_workloads::build(arg, 1).is_some() {
-        produce_trace(opts)?
+        produce_trace(opts)?.0
     } else {
         load_trace(opts)?
     };
@@ -324,7 +448,7 @@ fn replay(opts: &Options) -> Result<String, CliError> {
         "replayed {} recorded events deterministically\n",
         replayer.replayed()
     );
-    let analysis = analyze(&result.trace, opts)?;
+    let analysis = analyze(&result.trace, opts, &WatchdogStats::default())?;
     out.push_str(&render_analysis(&result.trace, &analysis, opts.dot));
     Ok(out)
 }
@@ -332,7 +456,7 @@ fn replay(opts: &Options) -> Result<String, CliError> {
 fn compare(opts: &Options) -> Result<String, CliError> {
     let arg = opts.positional.first().ok_or_else(|| err(USAGE))?;
     let trace = if velodrome_workloads::build(arg, 1).is_some() {
-        produce_trace(opts)?
+        produce_trace(opts)?.0
     } else {
         load_trace(opts)?
     };
@@ -352,7 +476,7 @@ fn compare(opts: &Options) -> Result<String, CliError> {
         };
         o.no_merge = opts.no_merge;
         o.no_gc = opts.no_gc;
-        let analysis = analyze(&trace, &o)?;
+        let analysis = analyze(&trace, &o, &WatchdogStats::default())?;
         let elapsed = start.elapsed();
         let _ = writeln!(
             out,
@@ -388,8 +512,13 @@ fn render_analysis(trace: &Trace, analysis: &Analysis, dot: bool) -> String {
 }
 
 fn check(opts: &Options) -> Result<String, CliError> {
-    let trace = produce_trace(opts)?;
-    let analysis = analyze(&trace, opts)?;
+    let telemetry = if opts.metrics_out.is_some() {
+        Telemetry::registry()
+    } else {
+        Telemetry::disabled()
+    };
+    let (trace, watchdog) = produce_trace_with(opts, &telemetry)?;
+    let analysis = analyze_with(&trace, opts, &watchdog, &telemetry)?;
     if opts.json {
         return Ok(format!(
             "{}\n",
@@ -400,7 +529,7 @@ fn check(opts: &Options) -> Result<String, CliError> {
 }
 
 fn record(opts: &Options) -> Result<String, CliError> {
-    let trace = produce_trace(opts)?;
+    let (trace, _) = produce_trace(opts)?;
     let path = opts
         .out
         .as_deref()
@@ -424,8 +553,66 @@ fn load_trace(opts: &Options) -> Result<Trace, CliError> {
 
 fn trace_cmd(opts: &Options) -> Result<String, CliError> {
     let trace = load_trace(opts)?;
-    let analysis = analyze(&trace, opts)?;
+    let analysis = analyze(&trace, opts, &WatchdogStats::default())?;
     Ok(render_analysis(&trace, &analysis, opts.dot))
+}
+
+/// Metric names every snapshot line must carry for downstream dashboards;
+/// `scripts/ci-gate.sh` runs `metrics-verify` against a fresh `--metrics-out`
+/// file to keep the contract honest.
+const REQUIRED_METRICS: &[&str] = &[
+    "arena.allocated",
+    "arena.cur_alive",
+    "engine.ops",
+    "engine.ladder",
+    "watchdog.pauses_issued",
+];
+
+/// Validates a `--metrics-out` JSON Lines file: every line parses as JSON,
+/// carries `seq`/`events`/`metrics`, `seq` counts up from 0, and each
+/// snapshot contains the required metric names.
+fn metrics_verify(opts: &Options) -> Result<String, CliError> {
+    let path = opts.positional.first().ok_or_else(|| err(USAGE))?;
+    let text = std::fs::read_to_string(path).map_err(|e| io_err(format!("reading {path}: {e}")))?;
+    let mut snapshots = 0u64;
+    for (n, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v: serde_json::Value = serde_json::from_str(line)
+            .map_err(|e| input_err(format!("{path}:{}: not valid JSON: {e}", n + 1)))?;
+        let seq = v["seq"]
+            .as_u64()
+            .ok_or_else(|| input_err(format!("{path}:{}: missing `seq`", n + 1)))?;
+        if seq != snapshots {
+            return Err(input_err(format!(
+                "{path}:{}: snapshot seq {seq} out of order (expected {snapshots})",
+                n + 1
+            )));
+        }
+        v["events"]
+            .as_u64()
+            .ok_or_else(|| input_err(format!("{path}:{}: missing `events`", n + 1)))?;
+        let metrics = v["metrics"]
+            .as_object()
+            .ok_or_else(|| input_err(format!("{path}:{}: missing `metrics` object", n + 1)))?;
+        for name in REQUIRED_METRICS {
+            if metrics.get(name).is_none() {
+                return Err(input_err(format!(
+                    "{path}:{}: snapshot is missing required metric `{name}`",
+                    n + 1
+                )));
+            }
+        }
+        snapshots += 1;
+    }
+    if snapshots == 0 {
+        return Err(input_err(format!("{path}: no snapshots found")));
+    }
+    Ok(format!(
+        "ok: {snapshots} snapshots, all {} required metrics present\n",
+        REQUIRED_METRICS.len()
+    ))
 }
 
 fn oracle_cmd(opts: &Options) -> Result<String, CliError> {
@@ -647,5 +834,95 @@ mod tests {
     fn adversarial_flag_runs() {
         let out = run(&["check", "elevator", "--adversarial"]).unwrap();
         assert!(out.contains("events analyzed"), "{out}");
+    }
+
+    #[test]
+    fn metrics_out_writes_verifiable_snapshots() {
+        let dir = std::env::temp_dir().join("velodrome-cli-metrics");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.jsonl");
+        let path_str = path.to_str().unwrap();
+        let out = run(&[
+            "check",
+            "multiset",
+            "--seed=1",
+            "--scale=4",
+            &format!("--metrics-out={path_str}"),
+            "--metrics-interval=100",
+        ])
+        .unwrap();
+        assert!(out.contains("metric snapshots written"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 2, "expected interval + final snapshots");
+        for line in &lines {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            let metrics = v["metrics"].as_object().unwrap();
+            for name in REQUIRED_METRICS {
+                assert!(metrics.get(name).is_some(), "missing {name}: {line}");
+            }
+        }
+        let verified = run(&["metrics-verify", path_str]).unwrap();
+        assert!(verified.contains("ok:"), "{verified}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn metrics_final_snapshot_always_written() {
+        let dir = std::env::temp_dir().join("velodrome-cli-metrics-final");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("one.jsonl");
+        let path_str = path.to_str().unwrap();
+        // Interval far larger than the trace: only the final snapshot fires.
+        run(&[
+            "check",
+            "multiset",
+            &format!("--metrics-out={path_str}"),
+            "--metrics-interval=100000000",
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1, "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn metrics_flags_are_validated() {
+        let e = run(&["check", "multiset", "--metrics-interval=0"]).unwrap_err();
+        assert_eq!(e.kind, CliErrorKind::Usage, "{e}");
+        let e = run(&[
+            "check",
+            "multiset",
+            "--backend=eraser",
+            "--metrics-out=/tmp/x.jsonl",
+        ])
+        .unwrap_err();
+        assert_eq!(e.kind, CliErrorKind::Usage, "{e}");
+        assert!(e.message.contains("velodrome backend"), "{e}");
+    }
+
+    #[test]
+    fn metrics_verify_rejects_bad_files() {
+        let e = run(&["metrics-verify", "/nonexistent/metrics.jsonl"]).unwrap_err();
+        assert_eq!(e.kind, CliErrorKind::Io);
+        let dir = std::env::temp_dir().join("velodrome-cli-metrics-bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.jsonl");
+        let path_str = path.to_str().unwrap();
+        for (contents, why) in [
+            ("not json at all", "unparseable line"),
+            ("{\"seq\": 0}", "missing fields"),
+            ("", "no snapshots"),
+            (
+                "{\"seq\":0,\"events\":1,\"metrics\":{\"engine.ops\":{\"type\":\"gauge\",\"value\":1}}}",
+                "missing required metric",
+            ),
+        ] {
+            std::fs::write(&path, contents).unwrap();
+            let e = run(&["metrics-verify", path_str]).unwrap_err();
+            assert_eq!(e.kind, CliErrorKind::MalformedInput, "{why}: {e}");
+            assert_eq!(e.exit_code(), 4, "{why}");
+        }
+        std::fs::remove_file(&path).ok();
     }
 }

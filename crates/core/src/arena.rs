@@ -18,7 +18,8 @@
 //!   edges may render its successors collectible.
 
 use crate::smallgraph::{SlotMap, SlotSet};
-use crate::step::{SlotIdx, Step, Ts};
+use crate::step::{SlotIdx, Step, Ts, MAX_TS};
+use std::fmt;
 use velodrome_events::{Label, Op, ThreadId};
 
 /// A happens-before edge between two nodes, annotated with the timestamps of
@@ -118,6 +119,39 @@ pub struct CycleFound {
     pub to_ts: Ts,
 }
 
+/// A recoverable arena capacity failure. Neither variant corrupts the
+/// arena: the failed allocation or bump simply did not happen, and the
+/// graph, stats, and free list are exactly as before the call. Callers
+/// (the engine) map these onto the degradation ladder instead of
+/// panicking the host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArenaError {
+    /// All 65535 allocatable slots hold simultaneously-live transactions.
+    /// Slot index `u16::MAX` is reserved so no allocatable slot can pack a
+    /// step colliding with [`Step::NONE`].
+    Exhausted,
+    /// A slot's timestamp counter reached the 48-bit limit; issuing another
+    /// step in that node would not be representable.
+    TsOverflow,
+}
+
+impl fmt::Display for ArenaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArenaError::Exhausted => write!(
+                f,
+                "node arena exhausted: 65535 simultaneously-live transactions \
+                 (is garbage collection disabled on a large trace?)"
+            ),
+            ArenaError::TsOverflow => {
+                write!(f, "node timestamp counter overflowed 48 bits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArenaError {}
+
 /// The node arena.
 #[derive(Debug)]
 pub struct Arena {
@@ -171,15 +205,30 @@ impl Arena {
     ///
     /// `current` marks the node as a thread's current transaction (a strong
     /// reference); merge-created nodes pass `false`.
-    pub fn alloc(&mut self, desc: NodeDesc, current: bool) -> Step {
+    ///
+    /// Fails with [`ArenaError::Exhausted`] when all 65535 allocatable
+    /// slots are live (index `u16::MAX` is reserved: it would let a step
+    /// collide with [`Step::NONE`] at timestamp [`MAX_TS`]), and with
+    /// [`ArenaError::TsOverflow`] when the only recycled slot available has
+    /// spent its 48-bit timestamp space. On failure the arena is unchanged.
+    pub fn alloc(&mut self, desc: NodeDesc, current: bool) -> Result<Step, ArenaError> {
         let idx = match self.free.pop() {
-            Some(idx) => idx,
+            Some(idx) => {
+                if self.slots[idx as usize].counter >= MAX_TS {
+                    // Recycled slot has no timestamps left; put it back so
+                    // the failed call leaves the free list intact.
+                    self.free.push(idx);
+                    return Err(ArenaError::TsOverflow);
+                }
+                idx
+            }
             None => {
-                assert!(
-                    self.slots.len() <= SlotIdx::MAX as usize,
-                    "node arena exhausted: more than 65536 simultaneously-live \
-                     transactions (is garbage collection disabled on a large trace?)"
-                );
+                // `>=` reserves slot index u16::MAX (65535): with at most
+                // 65535 slots, indices stop at 65534 and no allocatable
+                // slot can ever pack a step that collides with `⊥`.
+                if self.slots.len() >= SlotIdx::MAX as usize {
+                    return Err(ArenaError::Exhausted);
+                }
                 let idx = self.slots.len() as SlotIdx;
                 self.slots.push(Slot {
                     alive: false,
@@ -206,15 +255,29 @@ impl Arena {
         self.stats.allocated += 1;
         self.stats.cur_alive += 1;
         self.stats.max_alive = self.stats.max_alive.max(self.stats.cur_alive);
-        Step::new(idx, slot.counter)
+        Ok(Step::new(idx, slot.counter))
     }
 
     /// Issues the next timestamp within an alive node.
-    pub fn bump(&mut self, idx: SlotIdx) -> Step {
+    ///
+    /// Fails with [`ArenaError::TsOverflow`] once the node's counter
+    /// reaches the 48-bit limit; the counter is not advanced, so the slot's
+    /// existing steps stay valid.
+    pub fn bump(&mut self, idx: SlotIdx) -> Result<Step, ArenaError> {
         let slot = &mut self.slots[idx as usize];
         debug_assert!(slot.alive, "bump of dead slot");
+        if slot.counter >= MAX_TS {
+            return Err(ArenaError::TsOverflow);
+        }
         slot.counter += 1;
-        Step::new(idx, slot.counter)
+        Ok(Step::new(idx, slot.counter))
+    }
+
+    /// Test hook: pins a slot's timestamp counter so overflow paths can be
+    /// exercised without issuing 2^48 bumps. Not part of the public API.
+    #[doc(hidden)]
+    pub fn force_counter_for_test(&mut self, idx: SlotIdx, counter: Ts) {
+        self.slots[idx as usize].counter = counter;
     }
 
     /// Resolves a (weak) step reference: returns `Step::NONE` if the step is
@@ -578,7 +641,7 @@ mod tests {
     #[test]
     fn alloc_issues_valid_steps() {
         let mut a = Arena::new();
-        let s = a.alloc(desc(0), true);
+        let s = a.alloc(desc(0), true).unwrap();
         assert!(s.is_some());
         assert_eq!(a.resolve(s), s);
         assert_eq!(a.stats().allocated, 1);
@@ -588,10 +651,10 @@ mod tests {
     #[test]
     fn bump_is_monotonic() {
         let mut a = Arena::new();
-        let s = a.alloc(desc(0), true);
+        let s = a.alloc(desc(0), true).unwrap();
         let (n, t0) = s.unpack();
-        let s1 = a.bump(n);
-        let s2 = a.bump(n);
+        let s1 = a.bump(n).unwrap();
+        let s2 = a.bump(n).unwrap();
         assert!(s1.ts().unwrap() > t0);
         assert!(s2.ts() > s1.ts());
     }
@@ -599,7 +662,7 @@ mod tests {
     #[test]
     fn finished_node_without_edges_is_collected() {
         let mut a = Arena::new();
-        let s = a.alloc(desc(0), true);
+        let s = a.alloc(desc(0), true).unwrap();
         let (n, _) = s.unpack();
         a.finish(n);
         assert_eq!(a.alive_count(), 0);
@@ -610,8 +673,8 @@ mod tests {
     #[test]
     fn incoming_edge_keeps_node_alive() {
         let mut a = Arena::new();
-        let s0 = a.alloc(desc(0), true);
-        let s1 = a.alloc(desc(1), true);
+        let s0 = a.alloc(desc(0), true).unwrap();
+        let s1 = a.alloc(desc(1), true).unwrap();
         let (n0, _) = s0.unpack();
         let (n1, _) = s1.unpack();
         a.add_edge(s0, s1, op(), 0).unwrap();
@@ -627,10 +690,10 @@ mod tests {
     #[test]
     fn recycled_slot_invalidates_old_steps() {
         let mut a = Arena::new();
-        let s0 = a.alloc(desc(0), true);
+        let s0 = a.alloc(desc(0), true).unwrap();
         let (n0, _) = s0.unpack();
         a.finish(n0);
-        let s1 = a.alloc(desc(1), true);
+        let s1 = a.alloc(desc(1), true).unwrap();
         let (n1, _) = s1.unpack();
         assert_eq!(n0, n1, "slot is recycled");
         assert_eq!(a.resolve(s0), Step::NONE, "old incarnation is stale");
@@ -641,8 +704,8 @@ mod tests {
     #[test]
     fn cycle_is_detected_and_edge_not_added() {
         let mut a = Arena::new();
-        let s0 = a.alloc(desc(0), true);
-        let s1 = a.alloc(desc(1), true);
+        let s0 = a.alloc(desc(0), true).unwrap();
+        let s1 = a.alloc(desc(1), true).unwrap();
         a.add_edge(s0, s1, op(), 0).unwrap();
         let err = a.add_edge(s1, s0, op(), 1).unwrap_err();
         let (n0, _) = s0.unpack();
@@ -656,9 +719,9 @@ mod tests {
     #[test]
     fn transitive_cycle_detected() {
         let mut a = Arena::new();
-        let s0 = a.alloc(desc(0), true);
-        let s1 = a.alloc(desc(1), true);
-        let s2 = a.alloc(desc(2), true);
+        let s0 = a.alloc(desc(0), true).unwrap();
+        let s1 = a.alloc(desc(1), true).unwrap();
+        let s2 = a.alloc(desc(2), true).unwrap();
         a.add_edge(s0, s1, op(), 0).unwrap();
         a.add_edge(s1, s2, op(), 1).unwrap();
         assert!(a.add_edge(s2, s0, op(), 2).is_err());
@@ -668,19 +731,19 @@ mod tests {
     #[test]
     fn self_edges_are_filtered() {
         let mut a = Arena::new();
-        let s0 = a.alloc(desc(0), true);
+        let s0 = a.alloc(desc(0), true).unwrap();
         let (n0, _) = s0.unpack();
-        let s0b = a.bump(n0);
+        let s0b = a.bump(n0).unwrap();
         assert_eq!(a.add_edge(s0, s0b, op(), 0), Ok(false));
     }
 
     #[test]
     fn bottom_and_stale_sources_are_skipped() {
         let mut a = Arena::new();
-        let s0 = a.alloc(desc(0), true);
+        let s0 = a.alloc(desc(0), true).unwrap();
         let (n0, _) = s0.unpack();
         a.finish(n0);
-        let s1 = a.alloc(desc(1), true);
+        let s1 = a.alloc(desc(1), true).unwrap();
         assert_eq!(a.add_edge(Step::NONE, s1, op(), 0), Ok(false));
         assert_eq!(
             a.add_edge(s0, s1, op(), 0),
@@ -692,13 +755,13 @@ mod tests {
     #[test]
     fn edge_replacement_updates_timestamps() {
         let mut a = Arena::new();
-        let s0 = a.alloc(desc(0), true);
-        let s1 = a.alloc(desc(1), true);
+        let s0 = a.alloc(desc(0), true).unwrap();
+        let s1 = a.alloc(desc(1), true).unwrap();
         let (n0, _) = s0.unpack();
         let (n1, _) = s1.unpack();
         a.add_edge(s0, s1, op(), 0).unwrap();
-        let s0b = a.bump(n0);
-        let s1b = a.bump(n1);
+        let s0b = a.bump(n0).unwrap();
+        let s1b = a.bump(n1).unwrap();
         a.add_edge(s0b, s1b, op(), 1).unwrap();
         let e = a.edge(n0, n1).unwrap();
         assert_eq!(e.from_ts, s0b.ts().unwrap());
@@ -710,10 +773,10 @@ mod tests {
     #[test]
     fn happens_before_within_and_across_nodes() {
         let mut a = Arena::new();
-        let s0 = a.alloc(desc(0), true);
-        let s1 = a.alloc(desc(1), true);
+        let s0 = a.alloc(desc(0), true).unwrap();
+        let s1 = a.alloc(desc(1), true).unwrap();
         let (n0, _) = s0.unpack();
-        let s0b = a.bump(n0);
+        let s0b = a.bump(n0).unwrap();
         assert!(a.happens_before(s0, s0b));
         assert!(a.happens_before(s0, s0));
         assert!(!a.happens_before(s0b, s0));
@@ -727,9 +790,9 @@ mod tests {
     #[test]
     fn find_path_reconstructs_chain() {
         let mut a = Arena::new();
-        let s0 = a.alloc(desc(0), true);
-        let s1 = a.alloc(desc(1), true);
-        let s2 = a.alloc(desc(2), true);
+        let s0 = a.alloc(desc(0), true).unwrap();
+        let s1 = a.alloc(desc(1), true).unwrap();
+        let s2 = a.alloc(desc(2), true).unwrap();
         a.add_edge(s0, s1, op(), 0).unwrap();
         a.add_edge(s1, s2, op(), 1).unwrap();
         let (n0, _) = s0.unpack();
@@ -743,7 +806,7 @@ mod tests {
     #[test]
     fn gc_disabled_keeps_nodes() {
         let mut a = Arena::with_gc(false);
-        let s0 = a.alloc(desc(0), true);
+        let s0 = a.alloc(desc(0), true).unwrap();
         let (n0, _) = s0.unpack();
         a.finish(n0);
         assert_eq!(a.alive_count(), 1);
@@ -753,8 +816,8 @@ mod tests {
     #[test]
     fn ancestor_sets_pruned_on_collection() {
         let mut a = Arena::new();
-        let s0 = a.alloc(desc(0), true);
-        let s1 = a.alloc(desc(1), true);
+        let s0 = a.alloc(desc(0), true).unwrap();
+        let s1 = a.alloc(desc(1), true).unwrap();
         a.add_edge(s0, s1, op(), 0).unwrap();
         let (n0, _) = s0.unpack();
         a.finish(n0); // collects n0, cascades nothing (n1 still current)
@@ -767,7 +830,7 @@ mod tests {
     #[test]
     fn max_alive_tracks_peak() {
         let mut a = Arena::new();
-        let steps: Vec<Step> = (0..5).map(|i| a.alloc(desc(i), true)).collect();
+        let steps: Vec<Step> = (0..5).map(|i| a.alloc(desc(i), true).unwrap()).collect();
         assert_eq!(a.stats().max_alive, 5);
         for s in &steps {
             a.finish(s.unpack().0);
@@ -779,9 +842,9 @@ mod tests {
     #[test]
     fn implied_edges_are_elided() {
         let mut a = Arena::new();
-        let s0 = a.alloc(desc(0), true);
-        let s1 = a.alloc(desc(1), true);
-        let s2 = a.alloc(desc(2), true);
+        let s0 = a.alloc(desc(0), true).unwrap();
+        let s1 = a.alloc(desc(1), true).unwrap();
+        let s2 = a.alloc(desc(2), true).unwrap();
         a.add_edge(s0, s1, op(), 0).unwrap();
         a.add_edge(s1, s2, op(), 1).unwrap();
         // s0 → s2 is already implied through s1: elided, not stored.
@@ -799,9 +862,9 @@ mod tests {
     #[test]
     fn baseline_stores_tagged_implied_edges() {
         let mut a = Arena::with_options(true, false);
-        let s0 = a.alloc(desc(0), true);
-        let s1 = a.alloc(desc(1), true);
-        let s2 = a.alloc(desc(2), true);
+        let s0 = a.alloc(desc(0), true).unwrap();
+        let s1 = a.alloc(desc(1), true).unwrap();
+        let s2 = a.alloc(desc(2), true).unwrap();
         a.add_edge(s0, s1, op(), 0).unwrap();
         a.add_edge(s1, s2, op(), 1).unwrap();
         assert_eq!(a.add_edge(s0, s2, op(), 2), Ok(true));
@@ -820,9 +883,9 @@ mod tests {
     #[test]
     fn direct_edge_refresh_is_not_elided() {
         let mut a = Arena::new();
-        let s0 = a.alloc(desc(0), true);
-        let s1 = a.alloc(desc(1), true);
-        let s2 = a.alloc(desc(2), true);
+        let s0 = a.alloc(desc(0), true).unwrap();
+        let s1 = a.alloc(desc(1), true).unwrap();
+        let s2 = a.alloc(desc(2), true).unwrap();
         // Direct edge first, then a transitive path alongside it.
         a.add_edge(s0, s2, op(), 0).unwrap();
         a.add_edge(s0, s1, op(), 1).unwrap();
@@ -830,8 +893,8 @@ mod tests {
         // Re-adding the (now also implied) direct edge refreshes timestamps.
         let (n0, _) = s0.unpack();
         let (n2, _) = s2.unpack();
-        let s0b = a.bump(n0);
-        let s2b = a.bump(n2);
+        let s0b = a.bump(n0).unwrap();
+        let s2b = a.bump(n2).unwrap();
         assert_eq!(a.add_edge(s0b, s2b, op(), 3), Ok(true));
         let e = a.edge(n0, n2).unwrap();
         assert_eq!(e.to_ts, s2b.ts().unwrap());
@@ -844,9 +907,9 @@ mod tests {
     fn elision_does_not_change_collection() {
         for elide in [true, false] {
             let mut a = Arena::with_options(true, elide);
-            let s0 = a.alloc(desc(0), true);
-            let s1 = a.alloc(desc(1), true);
-            let s2 = a.alloc(desc(2), true);
+            let s0 = a.alloc(desc(0), true).unwrap();
+            let s1 = a.alloc(desc(1), true).unwrap();
+            let s2 = a.alloc(desc(2), true).unwrap();
             a.add_edge(s0, s1, op(), 0).unwrap();
             a.add_edge(s1, s2, op(), 1).unwrap();
             let _ = a.add_edge(s0, s2, op(), 2);
@@ -869,10 +932,10 @@ mod tests {
     #[test]
     fn diamond_ancestors_exact() {
         let mut a = Arena::new();
-        let s0 = a.alloc(desc(0), true);
-        let s1 = a.alloc(desc(1), true);
-        let s2 = a.alloc(desc(2), true);
-        let s3 = a.alloc(desc(3), true);
+        let s0 = a.alloc(desc(0), true).unwrap();
+        let s1 = a.alloc(desc(1), true).unwrap();
+        let s2 = a.alloc(desc(2), true).unwrap();
+        let s3 = a.alloc(desc(3), true).unwrap();
         a.add_edge(s0, s1, op(), 0).unwrap();
         a.add_edge(s0, s2, op(), 1).unwrap();
         a.add_edge(s1, s3, op(), 2).unwrap();

@@ -24,13 +24,14 @@
 //! The analysis is *sound and complete*: it reports a violation iff the
 //! observed trace is not conflict-serializable (Theorem 1).
 
-use crate::arena::{Arena, CycleFound, NodeDesc};
+use crate::arena::{Arena, ArenaError, CycleFound, NodeDesc};
 use crate::report::{CycleReport, ReportEdge, ReportNode};
 use crate::step::{SlotIdx, Step, Ts};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use velodrome_events::{Label, LockId, Op, SymbolTable, ThreadId, Trace, VarId};
 use velodrome_monitor::budget::{DegradationLevel, ResourceBudget};
 use velodrome_monitor::tool::{PerLabelDedup, Tool, Warning, WarningCategory};
+use velodrome_telemetry::{names, Counter, Gauge, PhaseTimer, Telemetry};
 
 /// Configuration of the [`Velodrome`] engine.
 #[derive(Debug, Clone)]
@@ -87,6 +88,13 @@ pub struct VelodromeConfig {
     pub budget: ResourceBudget,
     /// Symbol table used to render warnings and error graphs.
     pub names: SymbolTable,
+    /// Telemetry registry the engine reports into (default: the disabled
+    /// no-op handle — zero overhead, see the `velodrome-telemetry` crate).
+    /// When enabled, the engine registers phase timers around its hot spots
+    /// plus counters for arena capacity failures and ladder transitions,
+    /// and [`Velodrome::publish_telemetry`] mirrors the full
+    /// [`VelodromeStats`]/[`crate::arena::ArenaStats`] surface as gauges.
+    pub telemetry: Telemetry,
 }
 
 impl Default for VelodromeConfig {
@@ -99,6 +107,44 @@ impl Default for VelodromeConfig {
             max_warnings: 10_000,
             budget: ResourceBudget::UNLIMITED,
             names: SymbolTable::new(),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+}
+
+/// Pre-resolved telemetry handles for the engine's hot paths. All handles
+/// are no-ops when the configured [`Telemetry`] is disabled.
+#[derive(Debug)]
+struct EngineTele {
+    /// Span timer per operation reaching the happens-before machinery.
+    advance: PhaseTimer,
+    /// Span timer around `Arena::add_edge`.
+    add_edge: PhaseTimer,
+    /// Span timer around cycle reconstruction and blame assignment.
+    cycle_check: PhaseTimer,
+    /// Span timer around GC cascades (`Arena::finish`).
+    gc: PhaseTimer,
+    /// Arena slot-exhaustion events.
+    exhausted: Counter,
+    /// Arena 48-bit timestamp overflows.
+    ts_overflow: Counter,
+    /// Degradation-ladder transitions.
+    degradations: Counter,
+    /// Current ladder rung (monotone non-decreasing over a run).
+    ladder: Gauge,
+}
+
+impl EngineTele {
+    fn new(t: &Telemetry) -> Self {
+        Self {
+            advance: t.phase(names::PHASE_ADVANCE),
+            add_edge: t.phase(names::PHASE_ADD_EDGE),
+            cycle_check: t.phase(names::PHASE_CYCLE_CHECK),
+            gc: t.phase(names::PHASE_GC),
+            exhausted: t.counter(names::ARENA_EXHAUSTED),
+            ts_overflow: t.counter(names::ARENA_TS_OVERFLOW),
+            degradations: t.counter(names::ENGINE_DEGRADATIONS),
+            ladder: t.gauge(names::ENGINE_LADDER),
         }
     }
 }
@@ -239,6 +285,8 @@ pub struct Velodrome {
     /// recorder-only waits until this many ops have been processed, giving
     /// GC a window to reclaim nodes the quarantine unpinned.
     grace_until: u64,
+    /// Pre-resolved telemetry handles (no-ops when telemetry is disabled).
+    tele: EngineTele,
 }
 
 impl Default for Velodrome {
@@ -256,6 +304,7 @@ impl Velodrome {
     /// Creates an engine with an explicit configuration.
     pub fn with_config(cfg: VelodromeConfig) -> Self {
         let arena = Arena::with_options(cfg.gc, cfg.elide_redundant_edges);
+        let tele = EngineTele::new(&cfg.telemetry);
         Self {
             cfg,
             arena,
@@ -270,6 +319,7 @@ impl Velodrome {
             quarantined: HashSet::new(),
             var_heat: HashMap::new(),
             grace_until: 0,
+            tele,
         }
     }
 
@@ -284,6 +334,44 @@ impl Velodrome {
             edges_elided: a.edges_elided,
             ..self.stats
         }
+    }
+
+    /// Mirrors the engine's statistics surface into the configured
+    /// telemetry registry as gauges under the stable names in
+    /// [`velodrome_telemetry::names`]. The counters the engine updates live
+    /// (`arena.exhausted`, `arena.ts_overflow`, `engine.degradations`) are
+    /// not touched. A no-op when telemetry is disabled; callers invoke this
+    /// before each snapshot (pull-model publishing keeps the hot path free
+    /// of per-op gauge stores).
+    pub fn publish_telemetry(&self) {
+        self.publish_telemetry_to(&self.cfg.telemetry);
+    }
+
+    /// [`publish_telemetry`](Self::publish_telemetry) into an explicit
+    /// registry. Lets a benchmark run the engine with telemetry fully
+    /// disabled (no per-op phase-timer clock reads) and still read the
+    /// run's final numbers back through registry gauges.
+    pub fn publish_telemetry_to(&self, t: &Telemetry) {
+        if !t.is_enabled() {
+            return;
+        }
+        let a = self.arena.stats();
+        t.set_gauge(names::ARENA_ALLOCATED, a.allocated);
+        t.set_gauge(names::ARENA_MAX_ALIVE, a.max_alive);
+        t.set_gauge(names::ARENA_CUR_ALIVE, a.cur_alive);
+        t.set_gauge(names::ARENA_COLLECTED, a.collected);
+        t.set_gauge(names::ARENA_EDGES_ADDED, a.edges_added);
+        t.set_gauge(names::ARENA_EDGES_REPLACED, a.edges_replaced);
+        t.set_gauge(names::ARENA_EDGES_ELIDED, a.edges_elided);
+        let s = &self.stats;
+        t.set_gauge(names::ENGINE_OPS, s.ops);
+        t.set_gauge(names::ENGINE_EPOCH_HITS, s.epoch_hits);
+        t.set_gauge(names::ENGINE_MERGES_REUSED, s.merges_reused);
+        t.set_gauge(names::ENGINE_MERGES_BOTTOM, s.merges_bottom);
+        t.set_gauge(names::ENGINE_CYCLES_DETECTED, s.cycles_detected);
+        t.set_gauge(names::ENGINE_WARNINGS_SUPPRESSED, s.warnings_suppressed);
+        t.set_gauge(names::ENGINE_VARS_QUARANTINED, s.vars_quarantined);
+        t.set_gauge(names::ENGINE_LADDER, s.ladder.rung());
     }
 
     /// Full cycle reports collected so far (not drained by
@@ -316,6 +404,14 @@ impl Velodrome {
         self.arena.check_invariants();
     }
 
+    /// Test hook: pins an arena slot's timestamp counter so overflow paths
+    /// can be exercised without issuing 2^48 bumps (see
+    /// [`Arena::force_counter_for_test`]).
+    #[doc(hidden)]
+    pub fn force_arena_counter_for_test(&mut self, slot: SlotIdx, counter: Ts) {
+        self.arena.force_counter_for_test(slot, counter);
+    }
+
     fn thread_mut(&mut self, t: ThreadId) -> &mut ThreadState {
         let idx = t.index();
         if idx >= self.threads.len() {
@@ -328,13 +424,49 @@ impl Velodrome {
         !self.thread_mut(t).stack.is_empty()
     }
 
+    /// Timed wrapper around [`Arena::add_edge`].
+    fn add_edge(&mut self, from: Step, to: Step, op: Op, idx: usize) -> Result<bool, CycleFound> {
+        let _span = self.tele.add_edge.start();
+        self.arena.add_edge(from, to, op, idx)
+    }
+
+    /// Timed wrapper around [`Arena::finish`] (the GC cascade entry point).
+    fn finish_node(&mut self, slot: SlotIdx) {
+        let _span = self.tele.gc.start();
+        self.arena.finish(slot);
+    }
+
+    /// Maps a recoverable arena capacity failure onto the degradation
+    /// ladder: count it in telemetry, step straight to recorder-only with a
+    /// `Degraded` warning, and release the instrumentation store (its steps
+    /// are never consulted again; events are only counted from here on).
+    /// The host keeps running — this is the crash class the ladder exists
+    /// to absorb.
+    fn degrade_fatal(&mut self, err: ArenaError, t: ThreadId, idx: usize) {
+        match err {
+            ArenaError::Exhausted => self.tele.exhausted.incr(),
+            ArenaError::TsOverflow => self.tele.ts_overflow.incr(),
+        }
+        self.degrade(DegradationLevel::RecorderOnly, t, idx, &err.to_string());
+        self.u.clear();
+        self.w.clear();
+        self.r.clear();
+        self.var_heat.clear();
+    }
+
     /// Advances thread `t` by one operation with happens-before
     /// predecessors `preds`, returning the operation's step (possibly `⊥`
     /// for vanishing non-transactional operations).
     fn advance(&mut self, t: ThreadId, preds: &[Step], op: Op, idx: usize) -> Step {
         if self.in_txn(t) {
             let node = self.thread_mut(t).node;
-            let s = self.arena.bump(node);
+            let s = match self.arena.bump(node) {
+                Ok(s) => s,
+                Err(e) => {
+                    self.degrade_fatal(e, t, idx);
+                    return Step::NONE;
+                }
+            };
             let elide = self.cfg.elide_redundant_edges;
             for &p in preds {
                 // Epoch fast path: a predecessor that was a no-op for this
@@ -343,7 +475,7 @@ impl Velodrome {
                     self.stats.epoch_hits += 1;
                     continue;
                 }
-                match self.arena.add_edge(p, s, op, idx) {
+                match self.add_edge(p, s, op, idx) {
                     Ok(true) => {}
                     Ok(false) => {
                         if elide {
@@ -382,13 +514,19 @@ impl Velodrome {
                 label: None,
                 first_op: idx,
             };
-            let s = self.arena.alloc(desc, true);
+            let s = match self.arena.alloc(desc, true) {
+                Ok(s) => s,
+                Err(e) => {
+                    self.degrade_fatal(e, t, idx);
+                    return Step::NONE;
+                }
+            };
             for &a in &args {
                 // The target node is fresh, so no cycle is possible.
-                let _ = self.arena.add_edge(a, s, op, idx);
+                let _ = self.add_edge(a, s, op, idx);
             }
             let (slot, _) = s.unpack();
-            self.arena.finish(slot);
+            self.finish_node(slot);
             s
         } else if args.is_empty() {
             // All predecessors are ⊥: the unary transaction would be
@@ -407,7 +545,13 @@ impl Velodrome {
             // (merge case 2).
             self.stats.merges_reused += 1;
             let (slot, _) = sj.unpack();
-            self.arena.bump(slot)
+            match self.arena.bump(slot) {
+                Ok(s) => s,
+                Err(e) => {
+                    self.degrade_fatal(e, t, idx);
+                    return Step::NONE;
+                }
+            }
         } else {
             // Two or more incomparable predecessors: allocate a merge node
             // with edges from each (merge case 3). The node is fresh, so no
@@ -417,9 +561,15 @@ impl Velodrome {
                 label: None,
                 first_op: idx,
             };
-            let s = self.arena.alloc(desc, false);
+            let s = match self.arena.alloc(desc, false) {
+                Ok(s) => s,
+                Err(e) => {
+                    self.degrade_fatal(e, t, idx);
+                    return Step::NONE;
+                }
+            };
             for &a in &args {
-                let _ = self.arena.add_edge(a, s, op, idx);
+                let _ = self.add_edge(a, s, op, idx);
             }
             s
         };
@@ -431,7 +581,13 @@ impl Velodrome {
         if self.in_txn(t) {
             // [INS2 RE-ENTER]: nested block within the current transaction.
             let node = self.thread_mut(t).node;
-            let s = self.arena.bump(node);
+            let s = match self.arena.bump(node) {
+                Ok(s) => s,
+                Err(e) => {
+                    self.degrade_fatal(e, t, idx);
+                    return;
+                }
+            };
             let ts = s.ts().expect("bumped step");
             let st = self.thread_mut(t);
             st.l = s;
@@ -449,9 +605,15 @@ impl Velodrome {
                 label: Some(l),
                 first_op: idx,
             };
-            let s = self.arena.alloc(desc, true);
+            let s = match self.arena.alloc(desc, true) {
+                Ok(s) => s,
+                Err(e) => {
+                    self.degrade_fatal(e, t, idx);
+                    return;
+                }
+            };
             let op = Op::Begin { t, l };
-            let _ = self.arena.add_edge(prev, s, op, idx);
+            let _ = self.add_edge(prev, s, op, idx);
             let (slot, ts) = s.unpack();
             let st = self.thread_mut(t);
             st.l = s;
@@ -467,29 +629,41 @@ impl Velodrome {
         }
     }
 
-    fn on_end(&mut self, t: ThreadId, _idx: usize) {
+    fn on_end(&mut self, t: ThreadId, idx: usize) {
         if !self.in_txn(t) {
             return; // Stray end: tolerated, as in the trace semantics.
         }
         let node = self.thread_mut(t).node;
-        let s = self.arena.bump(node);
+        // On timestamp overflow the end step is `⊥` (L(t) keeps its last
+        // valid step) but the block is still popped and the node finished,
+        // so the graph stays consistent while the engine degrades.
+        let s = match self.arena.bump(node) {
+            Ok(s) => s,
+            Err(e) => {
+                self.degrade_fatal(e, t, idx);
+                Step::NONE
+            }
+        };
         let st = self.thread_mut(t);
-        st.l = s;
+        if s.is_some() {
+            st.l = s;
+        }
         st.stack.pop();
         if st.stack.is_empty() {
             // [INS2 EXIT] of the outermost block: the transaction is
             // finished and becomes collectible once unreferenced.
-            self.arena.finish(node);
+            self.finish_node(node);
         }
     }
 
     fn on_read(&mut self, t: ThreadId, x: VarId, op: Op, idx: usize) {
         let w = self.w.get(&x).copied().unwrap_or(Step::NONE);
         let s = self.advance(t, &[w], op, idx);
-        let per_var = self.r.entry(x).or_default();
+        // A `⊥` step must not materialize an empty per-variable map:
+        // `advance` may just have degraded and released the whole store.
         if s.is_some() {
-            per_var.insert(t, s);
-        } else {
+            self.r.entry(x).or_default().insert(t, s);
+        } else if let Some(per_var) = self.r.get_mut(&x) {
             per_var.remove(&t);
         }
     }
@@ -548,6 +722,8 @@ impl Velodrome {
         }
         self.stats.ladder = to;
         self.stats.degradations += 1;
+        self.tele.degradations.incr();
+        self.tele.ladder.set(to.rung());
         self.warnings.push(Warning {
             tool: "velodrome",
             category: WarningCategory::Degraded,
@@ -641,6 +817,7 @@ impl Velodrome {
     }
 
     fn report_cycle(&mut self, c: CycleFound, t: ThreadId, op: Op, idx: usize) {
+        let _span = self.tele.cycle_check.start();
         self.stats.cycles_detected += 1;
         // Reconstruct the existing path current-txn →* edge-source; the
         // rejected edge closes the cycle.
@@ -732,16 +909,17 @@ impl Tool for Velodrome {
 
     fn op(&mut self, index: usize, op: Op) {
         self.stats.ops += 1;
+        // Recorder-only is reachable without a budget (arena capacity
+        // failures degrade directly), so the check is unconditional.
+        if self.stats.ladder == DegradationLevel::RecorderOnly {
+            return;
+        }
         // Budget enforcement is gated on a configured budget so the default
         // (unlimited) path has zero extra state and identical behavior.
-        if !self.cfg.budget.is_unlimited() {
-            if self.stats.ladder == DegradationLevel::RecorderOnly {
-                return;
-            }
-            if self.enforce_budgets(op, index) {
-                return;
-            }
+        if !self.cfg.budget.is_unlimited() && self.enforce_budgets(op, index) {
+            return;
         }
+        let _span = self.tele.advance.start();
         match op {
             Op::Read { t, x } => self.on_read(t, x, op, index),
             Op::Write { t, x } => self.on_write(t, x, op, index),

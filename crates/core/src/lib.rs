@@ -52,7 +52,7 @@ pub mod report;
 mod smallgraph;
 pub mod step;
 
-pub use arena::{Arena, ArenaStats, CycleFound, EdgeInfo, NodeDesc};
+pub use arena::{Arena, ArenaError, ArenaStats, CycleFound, EdgeInfo, NodeDesc};
 pub use engine::{check_trace, check_trace_with, Velodrome, VelodromeConfig, VelodromeStats};
 pub use report::{CycleReport, ReportEdge, ReportNode};
 pub use step::Step;

@@ -95,6 +95,18 @@ impl DegradationLevel {
         Self::RecorderOnly,
     ];
 
+    /// The rung number on the ladder: 0 at full fidelity, rising as
+    /// fidelity is shed. This is what the `*.ladder` telemetry gauges
+    /// carry, so exported snapshots can check monotonicity numerically.
+    pub fn rung(self) -> u64 {
+        match self {
+            Self::Full => 0,
+            Self::TraceDropped => 1,
+            Self::VarQuarantine => 2,
+            Self::RecorderOnly => 3,
+        }
+    }
+
     /// A short, stable name for telemetry and reports.
     pub fn name(self) -> &'static str {
         match self {
@@ -136,6 +148,12 @@ mod tests {
             prev = Some(level);
         }
         assert_eq!(DegradationLevel::default(), DegradationLevel::Full);
+    }
+
+    #[test]
+    fn rungs_match_ladder_order() {
+        let rungs: Vec<u64> = DegradationLevel::ALL.iter().map(|l| l.rung()).collect();
+        assert_eq!(rungs, vec![0, 1, 2, 3]);
     }
 
     #[test]

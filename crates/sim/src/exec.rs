@@ -17,6 +17,7 @@ use crate::ir::{Program, Stmt};
 use crate::sched::{SchedView, Scheduler};
 use std::collections::HashMap;
 use velodrome_events::{LockId, Op, ThreadId, Trace};
+use velodrome_telemetry::{names, PhaseTimer, Telemetry};
 
 /// What a thread would do on its next step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -183,6 +184,9 @@ pub struct Executor<'p, S> {
     trace: Trace,
     steps: u64,
     max_steps: u64,
+    /// Span timer around scheduler picks (`phase.scheduler_step`); the
+    /// disabled no-op handle unless telemetry is attached.
+    sched_timer: PhaseTimer,
 }
 
 impl<'p, S: Scheduler> Executor<'p, S> {
@@ -205,6 +209,7 @@ impl<'p, S: Scheduler> Executor<'p, S> {
             trace,
             steps: 0,
             max_steps: 1 << 32,
+            sched_timer: PhaseTimer::disabled(),
         };
         exec.settle_main();
         exec
@@ -213,6 +218,13 @@ impl<'p, S: Scheduler> Executor<'p, S> {
     /// Overrides the runaway-guard step limit.
     pub fn with_max_steps(mut self, max_steps: u64) -> Self {
         self.max_steps = max_steps;
+        self
+    }
+
+    /// Attaches a telemetry registry: each scheduler pick is recorded as a
+    /// `phase.scheduler_step` span.
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.sched_timer = telemetry.phase(names::PHASE_SCHEDULER_STEP);
         self
     }
 
@@ -469,7 +481,9 @@ impl<'p, S: Scheduler> Executor<'p, S> {
                 next_ops: &next_ops,
                 step: self.steps,
             };
+            let span = self.sched_timer.start();
             let choice = self.scheduler.pick(&view).min(runnable_ids.len() - 1);
+            drop(span);
             let t = runnable_ids[choice];
             self.step(t);
         }
@@ -479,6 +493,18 @@ impl<'p, S: Scheduler> Executor<'p, S> {
 /// Runs `program` under `scheduler` and returns the result.
 pub fn run_program<S: Scheduler>(program: &Program, scheduler: S) -> RunResult {
     Executor::new(program, scheduler).run()
+}
+
+/// Like [`run_program`], with scheduler picks timed into `telemetry` as
+/// `phase.scheduler_step` spans.
+pub fn run_program_with_telemetry<S: Scheduler>(
+    program: &Program,
+    scheduler: S,
+    telemetry: &Telemetry,
+) -> RunResult {
+    Executor::new(program, scheduler)
+        .with_telemetry(telemetry)
+        .run()
 }
 
 #[cfg(test)]

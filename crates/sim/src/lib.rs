@@ -32,7 +32,7 @@ pub mod mutate;
 pub mod replay;
 pub mod sched;
 
-pub use exec::{run_program, Executor, NextAction, RunResult};
+pub use exec::{run_program, run_program_with_telemetry, Executor, NextAction, RunResult};
 pub use explore::{explore, ExploreLimits, ExploreResult};
 pub use gen::{random_program, GenConfig};
 pub use ir::{Program, ProgramBuilder, Stmt, ThreadBody};

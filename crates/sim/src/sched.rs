@@ -276,6 +276,23 @@ impl WatchdogStats {
     pub fn forced_total(&self) -> u64 {
         self.forced_sole_runnable + self.forced_all_paused + self.forced_deadline
     }
+
+    /// Mirrors the watchdog counters into a telemetry registry as gauges
+    /// under the stable `watchdog.*` names (see
+    /// [`velodrome_telemetry::names`]). A no-op on the disabled handle.
+    pub fn publish(&self, telemetry: &velodrome_telemetry::Telemetry) {
+        use velodrome_telemetry::names;
+        if !telemetry.is_enabled() {
+            return;
+        }
+        telemetry.set_gauge(names::WATCHDOG_PAUSES_ISSUED, self.pauses_issued);
+        telemetry.set_gauge(
+            names::WATCHDOG_FORCED_SOLE_RUNNABLE,
+            self.forced_sole_runnable,
+        );
+        telemetry.set_gauge(names::WATCHDOG_FORCED_ALL_PAUSED, self.forced_all_paused);
+        telemetry.set_gauge(names::WATCHDOG_FORCED_DEADLINE, self.forced_deadline);
+    }
 }
 
 /// The paper's adversarial scheduler: wraps an inner scheduler and suspends

@@ -1,0 +1,70 @@
+//! JSON Lines export of metric snapshots.
+
+use crate::snapshot::Snapshot;
+use std::io::{self, Write};
+
+/// Writes [`Snapshot`]s as JSON Lines: one compact JSON object per line,
+/// flushed after each write so a crashed run still leaves every completed
+/// snapshot on disk.
+#[derive(Debug)]
+pub struct JsonlExporter<W: Write> {
+    out: W,
+    lines: u64,
+}
+
+impl<W: Write> JsonlExporter<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> Self {
+        Self { out, lines: 0 }
+    }
+
+    /// Writes one snapshot as a JSON line and flushes.
+    pub fn export(&mut self, snap: &Snapshot) -> io::Result<()> {
+        let line = snap.to_json_line();
+        self.out.write_all(line.as_bytes())?;
+        self.out.write_all(b"\n")?;
+        self.out.flush()?;
+        self.lines += 1;
+        Ok(())
+    }
+
+    /// Number of lines written so far.
+    pub fn lines_written(&self) -> u64 {
+        self.lines
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::MetricValue;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn exports_one_parseable_line_per_snapshot() {
+        let mut exporter = JsonlExporter::new(Vec::new());
+        for seq in 0..3 {
+            let mut metrics = BTreeMap::new();
+            metrics.insert("engine.ops".to_owned(), MetricValue::Counter(seq * 2));
+            let snap = Snapshot {
+                seq,
+                events: seq * 2,
+                metrics,
+            };
+            exporter.export(&snap).unwrap();
+        }
+        assert_eq!(exporter.lines_written(), 3);
+        let text = String::from_utf8(exporter.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for (i, line) in lines.iter().enumerate() {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert_eq!(v["seq"].as_u64(), Some(i as u64));
+        }
+    }
+}

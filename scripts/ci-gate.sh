@@ -38,6 +38,30 @@ if [[ "$code" -ne 4 ]]; then
     exit 1
 fi
 
+echo "==> metrics smoke (fixed-seed workload, JSONL snapshot contract)"
+cargo run --release -q -p velodrome-cli -- check multiset --seed=1 --scale=4 \
+    --metrics-out="$tmp/metrics.jsonl" --metrics-interval=200 >/dev/null
+cargo run --release -q -p velodrome-cli -- metrics-verify "$tmp/metrics.jsonl" >/dev/null
+for name in arena.allocated arena.cur_alive engine.ops engine.ladder watchdog.pauses_issued; do
+    if ! grep -q "\"$name\"" "$tmp/metrics.jsonl"; then
+        echo "metrics smoke: required metric $name missing from snapshots" >&2
+        exit 1
+    fi
+done
+
+echo "==> BENCH_hotpath.json carries the documented fields"
+if [[ -f BENCH_hotpath.json ]]; then
+    for field in events millis ops_per_sec edges_added edges_elided epoch_hits \
+                 warnings cycles_detected edges_added_reduction_pct outputs_identical; do
+        if ! grep -q "\"$field\"" BENCH_hotpath.json; then
+            echo "BENCH_hotpath.json is missing documented field: $field" >&2
+            exit 1
+        fi
+    done
+else
+    echo "    (no BENCH_hotpath.json checked in; run with --with-bench to generate)"
+fi
+
 if [[ "${1:-}" == "--with-bench" ]]; then
     echo "==> hotpath benchmark (asserts output identity + elision floor)"
     cargo run --release -p velodrome-bench --bin hotpath >/dev/null
