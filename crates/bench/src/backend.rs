@@ -1,7 +1,9 @@
-//! Uniform driver for the five back-end analyses compared in Table 1.
+//! Uniform driver for the back-end analyses compared in Table 1.
 
 use std::time::{Duration, Instant};
-use velodrome::{Velodrome, VelodromeConfig, VelodromeStats};
+use velodrome::{
+    HybridConfig, HybridStats, HybridVelodrome, Velodrome, VelodromeConfig, VelodromeStats,
+};
 use velodrome_atomizer::Atomizer;
 use velodrome_events::Trace;
 use velodrome_lockset::{Eraser, StrictTwoPhase};
@@ -10,7 +12,8 @@ use velodrome_telemetry::Telemetry;
 use velodrome_vclock::HbRaceDetector;
 
 /// The analysis back-ends of Table 1 (plus the no-merge Velodrome variant
-/// used for the "Without Merge" columns, and the HB race detector).
+/// used for the "Without Merge" columns, the HB race detector, and the
+/// two-tier vector-clock checkers).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Backend {
     /// Instrumentation only; no analysis.
@@ -27,11 +30,17 @@ pub enum Backend {
     Velodrome,
     /// Velodrome with the naive `[INS OUTSIDE]` rule (Figure 2).
     VelodromeNoMerge,
+    /// AeroDrome vector-clock checker: linear time, verdict-only output.
+    Aerodrome,
+    /// Two-tier checker: vector-clock screen online, graph engine engaged
+    /// on the first escalation flag. Warnings byte-identical to
+    /// [`Backend::Velodrome`].
+    VelodromeHybrid,
 }
 
 impl Backend {
     /// Every backend, in Table 1 column order.
-    pub const ALL: [Backend; 7] = [
+    pub const ALL: [Backend; 9] = [
         Backend::Empty,
         Backend::Eraser,
         Backend::HbRace,
@@ -39,6 +48,8 @@ impl Backend {
         Backend::S2pl,
         Backend::Velodrome,
         Backend::VelodromeNoMerge,
+        Backend::Aerodrome,
+        Backend::VelodromeHybrid,
     ];
 
     /// The backends timed in the paper's Table 1.
@@ -59,7 +70,16 @@ impl Backend {
             Backend::S2pl => "s2pl",
             Backend::Velodrome => "velodrome",
             Backend::VelodromeNoMerge => "velodrome-nomerge",
+            Backend::Aerodrome => "aerodrome",
+            Backend::VelodromeHybrid => "velodrome-hybrid",
         }
+    }
+
+    /// Parses a stable display name back into a backend. Every member of
+    /// [`Backend::ALL`] round-trips through this (a unit test enforces
+    /// it), so a newly added backend cannot silently miss the parser.
+    pub fn from_name(name: &str) -> Option<Backend> {
+        Backend::ALL.into_iter().find(|b| b.name() == name)
     }
 }
 
@@ -72,14 +92,27 @@ pub struct RunOutcome {
     pub warnings: Vec<Warning>,
     /// Wall-clock analysis time.
     pub elapsed: Duration,
-    /// Engine statistics (Velodrome variants only).
+    /// Engine statistics (always-on Velodrome variants only).
     pub stats: Option<VelodromeStats>,
+    /// Hybrid checker statistics ([`Backend::Aerodrome`] and
+    /// [`Backend::VelodromeHybrid`] only).
+    pub hybrid_stats: Option<HybridStats>,
 }
 
 impl RunOutcome {
     /// Analysis nanoseconds per trace operation.
     pub fn ns_per_op(&self, trace_len: usize) -> f64 {
         self.elapsed.as_nanos() as f64 / trace_len.max(1) as f64
+    }
+
+    /// Graph node + edge operations performed, when the backend tracks
+    /// them (see [`VelodromeStats::graph_ops`]).
+    pub fn graph_ops(&self) -> Option<u64> {
+        match (&self.stats, &self.hybrid_stats) {
+            (Some(s), _) => Some(s.graph_ops()),
+            (None, Some(h)) => Some(h.graph_ops()),
+            (None, None) => None,
+        }
     }
 }
 
@@ -89,6 +122,14 @@ fn velodrome_config(trace: &Trace, merge: bool, telemetry: &Telemetry) -> Velodr
         names: trace.names().clone(),
         telemetry: telemetry.clone(),
         ..VelodromeConfig::default()
+    }
+}
+
+fn hybrid_config(trace: &Trace, verdict_only: bool, telemetry: &Telemetry) -> HybridConfig {
+    HybridConfig {
+        engine: velodrome_config(trace, true, telemetry),
+        verdict_only,
+        ..HybridConfig::default()
     }
 }
 
@@ -113,12 +154,17 @@ pub fn run_with_telemetry(
     spec: Option<AtomicitySpec>,
     telemetry: &Telemetry,
 ) -> RunOutcome {
+    struct Extracted {
+        stats: Option<VelodromeStats>,
+        hybrid_stats: Option<HybridStats>,
+    }
+
     fn timed<T: Tool>(
         backend: Backend,
         trace: &Trace,
         spec: Option<AtomicitySpec>,
         tool: T,
-        stats: impl FnOnce(&T) -> Option<VelodromeStats>,
+        extract: impl FnOnce(&T) -> Extracted,
     ) -> RunOutcome {
         match spec {
             None => {
@@ -126,11 +172,13 @@ pub fn run_with_telemetry(
                 let start = Instant::now();
                 let warnings = run_tool(&mut tool, trace);
                 let elapsed = start.elapsed();
+                let e = extract(&tool);
                 RunOutcome {
                     backend,
                     warnings,
                     elapsed,
-                    stats: stats(&tool),
+                    stats: e.stats,
+                    hybrid_stats: e.hybrid_stats,
                 }
             }
             Some(spec) => {
@@ -138,34 +186,59 @@ pub fn run_with_telemetry(
                 let start = Instant::now();
                 let warnings = run_tool(&mut filtered, trace);
                 let elapsed = start.elapsed();
+                let e = extract(filtered.inner());
                 RunOutcome {
                     backend,
                     warnings,
                     elapsed,
-                    stats: stats(filtered.inner()),
+                    stats: e.stats,
+                    hybrid_stats: e.hybrid_stats,
                 }
             }
         }
     }
 
+    fn none<T>(_: &T) -> Extracted {
+        Extracted {
+            stats: None,
+            hybrid_stats: None,
+        }
+    }
     match backend {
-        Backend::Empty => timed(backend, trace, spec, EmptyTool::new(), |_| None),
-        Backend::Eraser => timed(backend, trace, spec, Eraser::new(), |_| None),
-        Backend::HbRace => timed(backend, trace, spec, HbRaceDetector::new(), |_| None),
-        Backend::Atomizer => timed(backend, trace, spec, Atomizer::new(), |_| None),
-        Backend::S2pl => timed(backend, trace, spec, StrictTwoPhase::new(), |_| None),
+        Backend::Empty => timed(backend, trace, spec, EmptyTool::new(), none),
+        Backend::Eraser => timed(backend, trace, spec, Eraser::new(), none),
+        Backend::HbRace => timed(backend, trace, spec, HbRaceDetector::new(), none),
+        Backend::Atomizer => timed(backend, trace, spec, Atomizer::new(), none),
+        Backend::S2pl => timed(backend, trace, spec, StrictTwoPhase::new(), none),
         Backend::Velodrome => {
             let tool = Velodrome::with_config(velodrome_config(trace, true, telemetry));
             timed(backend, trace, spec, tool, |t| {
                 t.publish_telemetry();
-                Some(t.stats())
+                Extracted {
+                    stats: Some(t.stats()),
+                    hybrid_stats: None,
+                }
             })
         }
         Backend::VelodromeNoMerge => {
             let tool = Velodrome::with_config(velodrome_config(trace, false, telemetry));
             timed(backend, trace, spec, tool, |t| {
                 t.publish_telemetry();
-                Some(t.stats())
+                Extracted {
+                    stats: Some(t.stats()),
+                    hybrid_stats: None,
+                }
+            })
+        }
+        Backend::Aerodrome | Backend::VelodromeHybrid => {
+            let verdict_only = backend == Backend::Aerodrome;
+            let tool = HybridVelodrome::with_config(hybrid_config(trace, verdict_only, telemetry));
+            timed(backend, trace, spec, tool, |t| {
+                t.publish_telemetry_to(telemetry);
+                Extracted {
+                    stats: None,
+                    hybrid_stats: Some(t.stats()),
+                }
             })
         }
     }
@@ -174,6 +247,7 @@ pub fn run_with_telemetry(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
     use velodrome_events::TraceBuilder;
 
     fn rmw_trace() -> Trace {
@@ -195,6 +269,25 @@ mod tests {
     }
 
     #[test]
+    fn backend_names_are_unique_and_round_trip() {
+        let mut seen = HashSet::new();
+        for backend in Backend::ALL {
+            assert!(
+                seen.insert(backend.name()),
+                "duplicate backend name {:?}",
+                backend.name()
+            );
+            assert_eq!(
+                Backend::from_name(backend.name()),
+                Some(backend),
+                "backend {:?} does not round-trip through from_name",
+                backend.name()
+            );
+        }
+        assert_eq!(Backend::from_name("no-such-backend"), None);
+    }
+
+    #[test]
     fn velodrome_variants_agree_and_expose_stats() {
         let trace = rmw_trace();
         let merged = run(Backend::Velodrome, &trace);
@@ -203,6 +296,21 @@ mod tests {
         assert_eq!(unmerged.warnings.len(), 1);
         assert!(merged.stats.is_some());
         assert!(unmerged.stats.unwrap().nodes_allocated >= merged.stats.unwrap().nodes_allocated);
+    }
+
+    #[test]
+    fn hybrid_matches_velodrome_byte_for_byte() {
+        let trace = rmw_trace();
+        let pure = run(Backend::Velodrome, &trace);
+        let hybrid = run(Backend::VelodromeHybrid, &trace);
+        assert_eq!(
+            serde_json::to_string(&hybrid.warnings).unwrap(),
+            serde_json::to_string(&pure.warnings).unwrap()
+        );
+        assert_eq!(hybrid.hybrid_stats.unwrap().escalations, 1);
+        let aero = run(Backend::Aerodrome, &trace);
+        assert_eq!(aero.warnings.len(), pure.warnings.len());
+        assert!(aero.warnings.iter().all(|w| w.tool == "aerodrome"));
     }
 
     #[test]

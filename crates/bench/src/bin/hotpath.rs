@@ -1,17 +1,23 @@
-//! Hot-path benchmark: redundant-edge elision + epoch cache vs. baseline.
+//! Hot-path benchmark: redundant-edge elision + epoch cache vs. baseline,
+//! plus the two-tier hybrid checker vs. the always-on graph engine.
 //!
 //! Runs the optimized engine (`elide_redundant_edges: true`, the default)
 //! and the unoptimized baseline (elision and epoch cache off) over the same
 //! traces, checks the outputs are byte-identical, and writes
 //! `BENCH_hotpath.json` (throughput, edges added vs. elided, epoch hits) so
-//! the speedup can be charted across PRs.
+//! the speedup can be charted across PRs. Each workload is also run through
+//! the `velodrome-hybrid` backend (vector-clock screen online, graph engine
+//! only on escalation); the report records how many graph node/edge
+//! operations the screen avoided and asserts the hybrid outputs stay
+//! byte-identical to the pure engine.
 //!
 //! Workloads:
 //!
 //! * `stress` — an open-transaction fan-in pattern: waves of concurrent
 //!   transactions where each reads every variable written earlier in the
 //!   wave, so most orderings arrive already implied through the chain.
-//!   This is the redundant-edge worst case the elision gate targets.
+//!   This is the redundant-edge worst case the elision gate targets, and
+//!   it is serializable, so the hybrid screen never escalates on it.
 //! * `multiset` — the paper's multiset model under round-robin (the
 //!   classic `stress` binary workload).
 //! * `adversarial` — the multiset model under the Atomizer-guided
@@ -22,7 +28,7 @@
 
 use serde::Serialize;
 use std::time::Instant;
-use velodrome::{Velodrome, VelodromeConfig};
+use velodrome::{HybridConfig, HybridVelodrome, Velodrome, VelodromeConfig};
 use velodrome_bench::hotpath::fanin_stress_trace;
 use velodrome_bench::{arg_u64, report};
 use velodrome_events::Trace;
@@ -40,18 +46,46 @@ struct EngineRun {
     epoch_hits: u64,
     warnings: usize,
     cycles_detected: u64,
+    /// Graph node allocations + edge insertions + elision checks.
+    graph_ops: u64,
 }
 
-/// Optimized vs. baseline over one workload.
+/// One hybrid-checker run over a trace.
+#[derive(Debug, Serialize)]
+struct HybridRun {
+    events: u64,
+    millis: u64,
+    ops_per_sec: u64,
+    /// Graph operations actually performed (0 while the screen holds).
+    graph_ops: u64,
+    /// Times the screen escalated to the graph engine (0 or 1 per run).
+    escalations: u64,
+    /// AeroDrome epoch fast-path hits inside the screen.
+    screen_epoch_hits: u64,
+    warnings: usize,
+}
+
+/// Optimized vs. baseline vs. hybrid over one workload.
 #[derive(Debug, Serialize)]
 struct WorkloadResult {
     name: String,
     optimized: EngineRun,
     baseline: EngineRun,
+    hybrid: HybridRun,
     /// `1 - optimized.edges_added / baseline.edges_added`, in percent.
     edges_added_reduction_pct: f64,
     /// Optimized and baseline warnings/reports are byte-identical.
     outputs_identical: bool,
+    /// Graph operations of the always-on optimized engine.
+    graph_ops_velodrome: u64,
+    /// Graph operations the hybrid checker actually performed.
+    graph_ops_hybrid: u64,
+    /// `1 - graph_ops_hybrid / graph_ops_velodrome`, in percent.
+    graph_ops_reduction_pct: f64,
+    /// Screen-to-engine escalations in the hybrid run.
+    hybrid_escalations: u64,
+    /// Hybrid warnings/reports are byte-identical to the pure engine's.
+    hybrid_outputs_identical: bool,
 }
 
 fn run_engine(trace: &Trace, elide: bool) -> (EngineRun, String) {
@@ -72,6 +106,7 @@ fn run_engine(trace: &Trace, elide: bool) -> (EngineRun, String) {
     }
     let elapsed = start.elapsed();
     let warnings = engine.take_warnings();
+    let graph_ops = engine.stats().graph_ops();
     let telemetry = Telemetry::registry();
     engine.publish_telemetry_to(&telemetry);
     let snap = telemetry
@@ -92,6 +127,40 @@ fn run_engine(trace: &Trace, elide: bool) -> (EngineRun, String) {
         epoch_hits: gauge(names::ENGINE_EPOCH_HITS),
         warnings: warnings.len(),
         cycles_detected: gauge(names::ENGINE_CYCLES_DETECTED),
+        graph_ops,
+    };
+    (run, fingerprint)
+}
+
+fn run_hybrid(trace: &Trace) -> (HybridRun, String) {
+    let cfg = HybridConfig {
+        engine: VelodromeConfig {
+            names: trace.names().clone(),
+            ..VelodromeConfig::default()
+        },
+        ..HybridConfig::default()
+    };
+    let mut checker = HybridVelodrome::with_config(cfg);
+    let start = Instant::now();
+    for (i, op) in trace.iter() {
+        checker.op(i, op);
+    }
+    let elapsed = start.elapsed();
+    let warnings = checker.take_warnings();
+    let stats = checker.stats();
+    let fingerprint = format!(
+        "{}|{}",
+        serde_json::to_string(&warnings).expect("warnings serialize"),
+        serde_json::to_string(checker.reports()).expect("reports serialize"),
+    );
+    let run = HybridRun {
+        events: trace.len() as u64,
+        millis: elapsed.as_millis() as u64,
+        ops_per_sec: (trace.len() as f64 / elapsed.as_secs_f64()) as u64,
+        graph_ops: stats.graph_ops(),
+        escalations: stats.escalations,
+        screen_epoch_hits: stats.screen.epoch_hits,
+        warnings: warnings.len(),
     };
     (run, fingerprint)
 }
@@ -99,12 +168,19 @@ fn run_engine(trace: &Trace, elide: bool) -> (EngineRun, String) {
 fn measure(name: &str, trace: &Trace) -> WorkloadResult {
     let (optimized, fp_opt) = run_engine(trace, true);
     let (baseline, fp_base) = run_engine(trace, false);
+    let (hybrid, fp_hybrid) = run_hybrid(trace);
     let reduction = if baseline.edges_added > 0 {
         100.0 * (1.0 - optimized.edges_added as f64 / baseline.edges_added as f64)
     } else {
         0.0
     };
+    let graph_ops_reduction_pct = if optimized.graph_ops > 0 {
+        100.0 * (1.0 - hybrid.graph_ops as f64 / optimized.graph_ops as f64)
+    } else {
+        0.0
+    };
     let identical = fp_opt == fp_base;
+    let hybrid_identical = fp_hybrid == fp_opt;
     eprintln!(
         "{name}: {} events, {} -> {} edges added ({reduction:.1}% fewer), \
          {} elided, {} epoch hits, {:.1}x throughput, identical={identical}",
@@ -115,10 +191,21 @@ fn measure(name: &str, trace: &Trace) -> WorkloadResult {
         optimized.epoch_hits,
         optimized.ops_per_sec as f64 / baseline.ops_per_sec.max(1) as f64,
     );
+    eprintln!(
+        "{name}: hybrid {} -> {} graph ops ({graph_ops_reduction_pct:.1}% fewer), \
+         {} escalations, identical={hybrid_identical}",
+        optimized.graph_ops, hybrid.graph_ops, hybrid.escalations,
+    );
     WorkloadResult {
         name: name.to_owned(),
+        graph_ops_velodrome: optimized.graph_ops,
+        graph_ops_hybrid: hybrid.graph_ops,
+        graph_ops_reduction_pct,
+        hybrid_escalations: hybrid.escalations,
+        hybrid_outputs_identical: hybrid_identical,
         optimized,
         baseline,
+        hybrid,
         edges_added_reduction_pct: reduction,
         outputs_identical: identical,
     }
@@ -150,6 +237,11 @@ fn main() {
             "{}: optimized and baseline outputs diverge",
             r.name
         );
+        assert!(
+            r.hybrid_outputs_identical,
+            "{}: hybrid and pure-engine outputs diverge",
+            r.name
+        );
     }
     let stress_result = &results[0];
     assert!(
@@ -158,6 +250,13 @@ fn main() {
         stress_result.edges_added_reduction_pct
     );
     assert!(stress_result.optimized.edges_elided > 0);
+    assert!(
+        stress_result.graph_ops_velodrome >= 3 * stress_result.graph_ops_hybrid.max(1),
+        "hybrid must cut graph operations at least 3x on the serializable \
+         stress workload, got {} -> {}",
+        stress_result.graph_ops_velodrome,
+        stress_result.graph_ops_hybrid,
+    );
 
     let json = serde_json::to_string_pretty(&results).expect("results serialize");
     std::fs::write("BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");

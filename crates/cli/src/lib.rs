@@ -17,11 +17,11 @@
 //! ```
 
 use std::fmt::Write as _;
-use velodrome::{Velodrome, VelodromeConfig};
+use velodrome::{HybridConfig, HybridVelodrome, Velodrome, VelodromeConfig};
 use velodrome_atomizer::Atomizer;
 use velodrome_events::{oracle, Trace, TraceStats};
 use velodrome_lockset::Eraser;
-use velodrome_monitor::{run_tool, Tool, Warning};
+use velodrome_monitor::{run_tool, EmptyTool, Tool, Warning};
 use velodrome_sim::{run_program, RandomScheduler, WatchdogStats};
 use velodrome_telemetry::{JsonlExporter, SnapshotRing, Telemetry};
 use velodrome_vclock::HbRaceDetector;
@@ -115,6 +115,8 @@ struct Options {
     max_vars: usize,
     metrics_out: Option<String>,
     metrics_interval: u64,
+    window: usize,
+    require: Option<String>,
 }
 
 fn parse(args: &[String]) -> Result<Options, CliError> {
@@ -158,6 +160,10 @@ fn parse(args: &[String]) -> Result<Options, CliError> {
                 .ok()
                 .filter(|n| *n > 0)
                 .ok_or_else(|| err(format!("bad --metrics-interval (want events > 0): {v}")))?;
+        } else if let Some(v) = a.strip_prefix("--window=") {
+            o.window = v.parse().map_err(|_| err(format!("bad --window: {v}")))?;
+        } else if let Some(v) = a.strip_prefix("--require=") {
+            o.require = Some(v.to_owned());
         } else if a.starts_with("--") {
             return Err(err(format!("unknown flag: {a}")));
         } else {
@@ -177,16 +183,38 @@ pub const USAGE: &str = "usage:
   velodrome info <workload|FILE> [--scale=N] [--seed=S]
   velodrome replay <workload> <FILE> [--scale=N]
   velodrome compare <workload|FILE> [--scale=N] [--seed=S]
-  velodrome metrics-verify <FILE>
-backends: velodrome (default), atomizer, eraser, hb-race, fasttrack, s2pl, all
+  velodrome metrics-verify <FILE> [--require=NAME,NAME]
+backends: velodrome (default), velodrome-hybrid (vector-clock screen online,
+  graph engine on escalation; same warnings as velodrome), aerodrome
+  (linear-time vector-clock verdicts only), velodrome-nomerge, atomizer,
+  eraser, hb-race, fasttrack, s2pl, empty, all
 velodrome flags: --no-merge (naive Figure 2 rule), --no-gc,
   --max-alive=N / --max-vars=N (resource budgets; tripping one degrades the
   analysis down an explicit ladder instead of growing without bound)
+hybrid flags: --window=N (bounded escalation-replay window; 0 = unbounded,
+  the default, which keeps output byte-identical to velodrome)
 output flags: --dot (error graphs), --json (machine-readable warnings)
 metrics flags: --metrics-out=FILE (JSON Lines telemetry snapshots;
-  velodrome backend only), --metrics-interval=N (events per snapshot,
-  default 10000; a final snapshot is always written)
+  velodrome and hybrid backends), --metrics-interval=N (events per
+  snapshot, default 10000; a final snapshot is always written)
 exit codes: 0 ok, 2 usage error, 3 I/O error, 4 malformed input file";
+
+/// Backend names `--backend=` accepts. `velodrome-bench`'s `Backend::ALL`
+/// display names must all appear here (an integration test enforces it),
+/// so a backend added to the bench matrix cannot silently miss the CLI.
+pub const BACKENDS: &[&str] = &[
+    "velodrome",
+    "velodrome-nomerge",
+    "velodrome-hybrid",
+    "aerodrome",
+    "atomizer",
+    "eraser",
+    "hb-race",
+    "fasttrack",
+    "s2pl",
+    "empty",
+    "all",
+];
 
 /// Executes a CLI invocation, returning the text to print on stdout.
 pub fn execute(args: &[String]) -> Result<String, CliError> {
@@ -267,13 +295,34 @@ struct Analysis {
     notes: Vec<String>,
 }
 
-/// Drives the engine over the trace one operation at a time, mirroring the
+/// A tool whose statistics surface can be mirrored into a telemetry
+/// registry between operations, making it meterable by
+/// [`run_engine_metered`]. Implemented for the always-on engine and for
+/// the two-tier hybrid checker (whose dormant engine publishes explicit
+/// zeros, keeping the snapshot schema identical across backends).
+trait MeteredTool: Tool {
+    fn publish(&self, telemetry: &Telemetry);
+}
+
+impl MeteredTool for Velodrome {
+    fn publish(&self, telemetry: &Telemetry) {
+        self.publish_telemetry_to(telemetry);
+    }
+}
+
+impl MeteredTool for HybridVelodrome {
+    fn publish(&self, telemetry: &Telemetry) {
+        self.publish_telemetry_to(telemetry);
+    }
+}
+
+/// Drives the tool over the trace one operation at a time, mirroring the
 /// registry into a JSONL file every `interval` events (plus a final
 /// snapshot, so at least one line is always written). Also keeps the last
 /// few snapshots in a [`SnapshotRing`], matching how a long-running monitor
 /// would retain recent history.
-fn run_engine_metered(
-    engine: &mut Velodrome,
+fn run_engine_metered<T: MeteredTool>(
+    engine: &mut T,
     trace: &Trace,
     telemetry: &Telemetry,
     watchdog: &WatchdogStats,
@@ -284,13 +333,13 @@ fn run_engine_metered(
     let mut exporter = JsonlExporter::new(std::io::BufWriter::new(file));
     let mut ring = SnapshotRing::new(64);
     let mut seq = 0u64;
-    let emit = |engine: &Velodrome,
+    let emit = |engine: &T,
                 events: u64,
                 exporter: &mut JsonlExporter<std::io::BufWriter<std::fs::File>>,
                 ring: &mut SnapshotRing,
                 seq: &mut u64|
      -> Result<(), CliError> {
-        engine.publish_telemetry();
+        engine.publish(telemetry);
         watchdog.publish(telemetry);
         if let Some(snap) = telemetry.snapshot(*seq, events) {
             exporter
@@ -337,26 +386,31 @@ fn analyze_with(
     watchdog: &WatchdogStats,
     telemetry: &Telemetry,
 ) -> Result<Analysis, CliError> {
-    if opts.metrics_out.is_some() && !matches!(opts.backend.as_str(), "velodrome" | "all") {
+    if opts.metrics_out.is_some()
+        && !matches!(
+            opts.backend.as_str(),
+            "velodrome" | "velodrome-nomerge" | "velodrome-hybrid" | "aerodrome" | "all"
+        )
+    {
         return Err(err(format!(
-            "--metrics-out requires the velodrome backend, not `{}`",
+            "--metrics-out requires a velodrome or hybrid backend, not `{}`",
             opts.backend
         )));
     }
-    let velodrome = |trace: &Trace| -> Result<Analysis, CliError> {
-        let cfg = VelodromeConfig {
-            names: trace.names().clone(),
-            merge: !opts.no_merge,
-            gc: !opts.no_gc,
-            budget: velodrome_monitor::ResourceBudget {
-                max_alive_nodes: opts.max_alive,
-                max_tracked_vars: opts.max_vars,
-                ..velodrome_monitor::ResourceBudget::UNLIMITED
-            },
-            telemetry: telemetry.clone(),
-            ..VelodromeConfig::default()
-        };
-        let mut engine = Velodrome::with_config(cfg);
+    let engine_config = |trace: &Trace, merge: bool| VelodromeConfig {
+        names: trace.names().clone(),
+        merge,
+        gc: !opts.no_gc,
+        budget: velodrome_monitor::ResourceBudget {
+            max_alive_nodes: opts.max_alive,
+            max_tracked_vars: opts.max_vars,
+            ..velodrome_monitor::ResourceBudget::UNLIMITED
+        },
+        telemetry: telemetry.clone(),
+        ..VelodromeConfig::default()
+    };
+    let velodrome = |trace: &Trace, merge: bool| -> Result<Analysis, CliError> {
+        let mut engine = Velodrome::with_config(engine_config(trace, merge));
         let mut notes = Vec::new();
         let warnings = if let Some(path) = opts.metrics_out.as_deref() {
             let (warnings, lines) = run_engine_metered(
@@ -388,12 +442,60 @@ fn analyze_with(
         }
         Ok(Analysis { warnings, notes })
     };
+    let hybrid = |trace: &Trace, verdict_only: bool| -> Result<Analysis, CliError> {
+        let cfg = HybridConfig {
+            engine: engine_config(trace, !opts.no_merge),
+            max_window: opts.window,
+            verdict_only,
+        };
+        let mut checker = HybridVelodrome::with_config(cfg);
+        let mut notes = Vec::new();
+        let warnings = if let Some(path) = opts.metrics_out.as_deref() {
+            let (warnings, lines) = run_engine_metered(
+                &mut checker,
+                trace,
+                telemetry,
+                watchdog,
+                path,
+                opts.metrics_interval,
+            )?;
+            notes.push(format!("{lines} metric snapshots written to {path}"));
+            warnings
+        } else {
+            run_tool(&mut checker, trace)
+        };
+        let stats = checker.stats();
+        match stats.escalated_at {
+            Some(at) => notes.push(format!(
+                "vector-clock screen escalated to the graph engine at event {at} \
+                 ({} buffered events replayed, {} graph operations)",
+                stats.buffered_peak,
+                stats.graph_ops()
+            )),
+            None => notes.push(format!(
+                "vector-clock screen held for all {} events: 0 graph operations, \
+                 {} epoch fast-path hits",
+                stats.ops, stats.screen.epoch_hits
+            )),
+        }
+        if stats.truncated > 0 {
+            notes.push(format!(
+                "{} events were evicted from the bounded escalation window \
+                 (--window={}); warnings may be incomplete",
+                stats.truncated, opts.window
+            ));
+        }
+        Ok(Analysis { warnings, notes })
+    };
     let plain = |warnings: Vec<Warning>| Analysis {
         warnings,
         notes: Vec::new(),
     };
     Ok(match opts.backend.as_str() {
-        "velodrome" => velodrome(trace)?,
+        "velodrome" => velodrome(trace, !opts.no_merge)?,
+        "velodrome-nomerge" => velodrome(trace, false)?,
+        "velodrome-hybrid" => hybrid(trace, false)?,
+        "aerodrome" => hybrid(trace, true)?,
         "atomizer" => plain(run_tool(&mut Atomizer::new(), trace)),
         "eraser" => plain(run_tool(&mut Eraser::new(), trace)),
         "hb-race" => plain(run_tool(&mut HbRaceDetector::new(), trace)),
@@ -402,8 +504,9 @@ fn analyze_with(
             &mut velodrome_lockset::StrictTwoPhase::new(),
             trace,
         )),
+        "empty" => plain(run_tool(&mut EmptyTool::new(), trace)),
         "all" => {
-            let mut result = velodrome(trace)?;
+            let mut result = velodrome(trace, !opts.no_merge)?;
             result
                 .warnings
                 .extend(run_tool(&mut Atomizer::new(), trace));
@@ -570,9 +673,17 @@ const REQUIRED_METRICS: &[&str] = &[
 
 /// Validates a `--metrics-out` JSON Lines file: every line parses as JSON,
 /// carries `seq`/`events`/`metrics`, `seq` counts up from 0, and each
-/// snapshot contains the required metric names.
+/// snapshot contains the required metric names — [`REQUIRED_METRICS`] plus
+/// any extra names given via `--require=a,b,c` (how `scripts/ci-gate.sh`
+/// pins the hybrid backend's `aerodrome.*`/`hybrid.*` gauges).
 fn metrics_verify(opts: &Options) -> Result<String, CliError> {
     let path = opts.positional.first().ok_or_else(|| err(USAGE))?;
+    let mut required: Vec<&str> = REQUIRED_METRICS.to_vec();
+    if let Some(extra) = opts.require.as_deref() {
+        for name in extra.split(',').filter(|n| !n.is_empty()) {
+            required.push(name);
+        }
+    }
     let text = std::fs::read_to_string(path).map_err(|e| io_err(format!("reading {path}: {e}")))?;
     let mut snapshots = 0u64;
     for (n, line) in text.lines().enumerate() {
@@ -596,7 +707,7 @@ fn metrics_verify(opts: &Options) -> Result<String, CliError> {
         let metrics = v["metrics"]
             .as_object()
             .ok_or_else(|| input_err(format!("{path}:{}: missing `metrics` object", n + 1)))?;
-        for name in REQUIRED_METRICS {
+        for name in &required {
             if metrics.get(name).is_none() {
                 return Err(input_err(format!(
                     "{path}:{}: snapshot is missing required metric `{name}`",
@@ -611,7 +722,7 @@ fn metrics_verify(opts: &Options) -> Result<String, CliError> {
     }
     Ok(format!(
         "ok: {snapshots} snapshots, all {} required metrics present\n",
-        REQUIRED_METRICS.len()
+        required.len()
     ))
 }
 
@@ -898,7 +1009,111 @@ mod tests {
         ])
         .unwrap_err();
         assert_eq!(e.kind, CliErrorKind::Usage, "{e}");
-        assert!(e.message.contains("velodrome backend"), "{e}");
+        assert!(e.message.contains("velodrome or hybrid backend"), "{e}");
+    }
+
+    #[test]
+    fn every_listed_backend_is_accepted() {
+        for backend in BACKENDS {
+            let out = run(&["check", "jbb", &format!("--backend={backend}")]).unwrap();
+            assert!(out.contains("events analyzed"), "{backend}: {out}");
+        }
+    }
+
+    #[test]
+    fn hybrid_backend_output_matches_velodrome() {
+        let pure = run(&["check", "multiset", "--seed=1", "--json"]).unwrap();
+        let hybrid = run(&[
+            "check",
+            "multiset",
+            "--seed=1",
+            "--backend=velodrome-hybrid",
+            "--json",
+        ])
+        .unwrap();
+        assert_eq!(pure, hybrid, "hybrid warnings must be byte-identical");
+        let text = run(&[
+            "check",
+            "multiset",
+            "--seed=1",
+            "--backend=velodrome-hybrid",
+        ])
+        .unwrap();
+        assert!(text.contains("escalated to the graph engine"), "{text}");
+    }
+
+    #[test]
+    fn aerodrome_backend_reports_verdicts_without_details() {
+        let out = run(&[
+            "check",
+            "multiset",
+            "--seed=1",
+            "--backend=aerodrome",
+            "--json",
+        ])
+        .unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let warnings = parsed.as_array().unwrap();
+        assert!(!warnings.is_empty(), "{out}");
+        for w in warnings {
+            assert_eq!(w["tool"], "aerodrome", "{w:?}");
+            assert!(w["details"].is_null(), "verdict-only strips details: {w:?}");
+        }
+    }
+
+    #[test]
+    fn hybrid_screen_note_reports_the_fast_path() {
+        // raja's observed trace is serializable; if the screen holds, the
+        // note says so and confirms zero graph operations.
+        let out = run(&["check", "raja", "--backend=velodrome-hybrid"]).unwrap();
+        assert!(out.contains("vector-clock screen"), "{out}");
+        assert!(out.contains("no warnings"), "{out}");
+    }
+
+    #[test]
+    fn window_flag_is_validated_and_accepted() {
+        let e = run(&["check", "multiset", "--window=abc"]).unwrap_err();
+        assert_eq!(e.kind, CliErrorKind::Usage, "{e}");
+        let out = run(&[
+            "check",
+            "multiset",
+            "--seed=1",
+            "--backend=velodrome-hybrid",
+            "--window=4",
+        ])
+        .unwrap();
+        assert!(out.contains("events analyzed"), "{out}");
+    }
+
+    #[test]
+    fn hybrid_metrics_out_carries_screen_gauges() {
+        let dir = std::env::temp_dir().join("velodrome-cli-hybrid-metrics");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hybrid.jsonl");
+        let path_str = path.to_str().unwrap();
+        let out = run(&[
+            "check",
+            "multiset",
+            "--seed=1",
+            "--scale=4",
+            "--backend=velodrome-hybrid",
+            &format!("--metrics-out={path_str}"),
+            "--metrics-interval=100",
+        ])
+        .unwrap();
+        assert!(out.contains("metric snapshots written"), "{out}");
+        // The base contract plus the screen's own gauges all verify.
+        let verified = run(&[
+            "metrics-verify",
+            path_str,
+            "--require=aerodrome.joins,aerodrome.epoch_hits,hybrid.escalations,hybrid.graph_ops",
+        ])
+        .unwrap();
+        assert!(verified.contains("ok:"), "{verified}");
+        // Demanding a gauge nobody publishes fails with exit 4.
+        let e = run(&["metrics-verify", path_str, "--require=no.such.metric"]).unwrap_err();
+        assert_eq!(e.kind, CliErrorKind::MalformedInput, "{e}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -185,6 +185,17 @@ pub struct VelodromeStats {
     pub ladder: DegradationLevel,
 }
 
+impl VelodromeStats {
+    /// Graph node + edge operations performed: nodes allocated plus edge
+    /// insertions attempted (stored or elided). This is the per-event
+    /// graph-maintenance cost the hybrid backend's vector-clock screen
+    /// avoids on serializable traces; the `hotpath` benchmark compares it
+    /// across backends.
+    pub fn graph_ops(&self) -> u64 {
+        self.nodes_allocated + self.edges_added + self.edges_elided
+    }
+}
+
 impl std::fmt::Display for VelodromeStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(

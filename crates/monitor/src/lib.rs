@@ -39,4 +39,4 @@ pub use chaos::{Fault, FaultPlan};
 pub use filter::{ReentrantLockFilter, SpecFilter, ThreadLocalFilter};
 pub use shim::RuntimeTelemetry;
 pub use spec::AtomicitySpec;
-pub use tool::{run_tool, EmptyTool, Tool, ToolChain, Warning, WarningCategory};
+pub use tool::{replay_ops, run_tool, EmptyTool, Tool, ToolChain, Warning, WarningCategory};

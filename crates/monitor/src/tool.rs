@@ -114,6 +114,22 @@ pub fn run_tool<T: Tool + ?Sized>(tool: &mut T, trace: &Trace) -> Vec<Warning> {
     tool.take_warnings()
 }
 
+/// Replays buffered `(index, op)` pairs into a tool, preserving the
+/// original trace indices.
+///
+/// This is the dispatch primitive for *deferred* analysis: a recorder (or
+/// a two-tier checker like `velodrome`'s hybrid backend) buffers the
+/// stream and only engages an expensive tool later — warnings produced
+/// from the replay then carry the same `op_index` values an online run
+/// would have reported, so downstream consumers cannot tell the
+/// difference. Does **not** call [`Tool::end_of_trace`]; the caller
+/// decides when the stream actually ends.
+pub fn replay_ops<T: Tool + ?Sized>(tool: &mut T, ops: &[(usize, Op)]) {
+    for &(i, op) in ops {
+        tool.op(i, op);
+    }
+}
+
 /// Runs several tools over the same event stream in a single pass.
 #[derive(Default)]
 pub struct ToolChain {

@@ -7,12 +7,16 @@
 //! that reports a race iff two conflicting accesses are concurrent (neither
 //! happens-before the other) in the observed trace — plus a FastTrack-style
 //! epoch-optimized variant ([`fasttrack`]) that compresses totally ordered
-//! access histories to scalar epochs.
+//! access histories to scalar epochs, and an AeroDrome-style transactional
+//! vector-clock *atomicity* screen ([`aerodrome`]) used by the core crate's
+//! hybrid two-tier checker.
 
+pub mod aerodrome;
 pub mod clock;
 pub mod detector;
 pub mod fasttrack;
 
+pub use aerodrome::{AeroDrome, AeroDromeStats, Screen};
 pub use clock::VectorClock;
 pub use detector::HbRaceDetector;
 pub use fasttrack::{Epoch, FastTrack};

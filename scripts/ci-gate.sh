@@ -49,10 +49,31 @@ for name in arena.allocated arena.cur_alive engine.ops engine.ladder watchdog.pa
     fi
 done
 
+echo "==> hybrid metrics smoke (screen gauges present alongside the base contract)"
+cargo run --release -q -p velodrome-cli -- check multiset --seed=1 --scale=4 \
+    --backend=velodrome-hybrid \
+    --metrics-out="$tmp/hybrid.jsonl" --metrics-interval=200 >/dev/null
+cargo run --release -q -p velodrome-cli -- metrics-verify "$tmp/hybrid.jsonl" \
+    --require=aerodrome.joins,aerodrome.epoch_hits,hybrid.escalations,hybrid.graph_ops \
+    >/dev/null
+for name in aerodrome.joins hybrid.escalations; do
+    if ! grep -q "\"$name\"" "$tmp/hybrid.jsonl"; then
+        echo "hybrid metrics smoke: required metric $name missing from snapshots" >&2
+        exit 1
+    fi
+done
+
+echo "==> cross-backend differential suite + conformance corpus (fixed seeds)"
+cargo test -q -p velodrome-integration --test atomicity_differential >/dev/null
+cargo test -q -p velodrome-integration --test corpus_conformance >/dev/null
+cargo test -q -p velodrome-integration --test backend_registry >/dev/null
+
 echo "==> BENCH_hotpath.json carries the documented fields"
 if [[ -f BENCH_hotpath.json ]]; then
     for field in events millis ops_per_sec edges_added edges_elided epoch_hits \
-                 warnings cycles_detected edges_added_reduction_pct outputs_identical; do
+                 warnings cycles_detected edges_added_reduction_pct outputs_identical \
+                 graph_ops graph_ops_velodrome graph_ops_hybrid graph_ops_reduction_pct \
+                 hybrid_escalations hybrid_outputs_identical screen_epoch_hits; do
         if ! grep -q "\"$field\"" BENCH_hotpath.json; then
             echo "BENCH_hotpath.json is missing documented field: $field" >&2
             exit 1

@@ -1,0 +1,34 @@
+//! Growth-hazard guard for the backend registry: a backend added to the
+//! bench matrix must be nameable, parseable, and reachable from the CLI.
+
+use velodrome_bench::backend::Backend;
+
+#[test]
+fn bench_backends_round_trip_and_are_cli_addressable() {
+    for backend in Backend::ALL {
+        assert_eq!(
+            Backend::from_name(backend.name()),
+            Some(backend),
+            "{} does not round-trip through Backend::from_name",
+            backend.name()
+        );
+        assert!(
+            velodrome_cli::BACKENDS.contains(&backend.name()),
+            "bench backend `{}` is not accepted by the CLI's --backend flag",
+            backend.name()
+        );
+    }
+}
+
+#[test]
+fn cli_accepts_every_bench_backend_on_a_real_run() {
+    for backend in Backend::ALL {
+        let args: Vec<String> = ["check", "jbb", &format!("--backend={}", backend.name())]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let out = velodrome_cli::execute(&args)
+            .unwrap_or_else(|e| panic!("backend {} rejected: {e}", backend.name()));
+        assert!(out.contains("events analyzed"), "{}: {out}", backend.name());
+    }
+}
