@@ -16,9 +16,13 @@
 //! binary (module [`hotpath`]) measures the redundant-edge elision and
 //! epoch-cache fast paths and emits `BENCH_hotpath.json`. The `chaos`
 //! binary (module [`chaos`]) replays a fixed-seed trace under the built-in
-//! fault-plan set and asserts the fault-tolerance contract.
+//! fault-plan set and asserts the fault-tolerance contract. The `batch`
+//! binary (module [`batch`]) measures aggregate checking throughput for a
+//! JSON-serial pipeline against the VBT-parallel `check-batch` runner and
+//! emits `BENCH_batch.json`.
 
 pub mod backend;
+pub mod batch;
 pub mod chaos;
 pub mod hotpath;
 pub mod injection;

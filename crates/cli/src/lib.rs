@@ -16,6 +16,8 @@
 //! velodrome compare <workload|FILE> [--scale=N] [--seed=S]
 //! ```
 
+pub mod batch;
+
 use std::fmt::Write as _;
 use velodrome::{HybridConfig, HybridVelodrome, Velodrome, VelodromeConfig};
 use velodrome_atomizer::Atomizer;
@@ -117,6 +119,9 @@ struct Options {
     metrics_interval: u64,
     window: usize,
     require: Option<String>,
+    jobs: usize,
+    report: Option<String>,
+    to: Option<String>,
 }
 
 fn parse(args: &[String]) -> Result<Options, CliError> {
@@ -125,6 +130,7 @@ fn parse(args: &[String]) -> Result<Options, CliError> {
         seed: 0,
         backend: "velodrome".into(),
         metrics_interval: 10_000,
+        jobs: 4,
         ..Default::default()
     };
     for a in args {
@@ -164,6 +170,16 @@ fn parse(args: &[String]) -> Result<Options, CliError> {
             o.window = v.parse().map_err(|_| err(format!("bad --window: {v}")))?;
         } else if let Some(v) = a.strip_prefix("--require=") {
             o.require = Some(v.to_owned());
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            o.jobs = v
+                .parse()
+                .ok()
+                .filter(|n| *n > 0)
+                .ok_or_else(|| err(format!("bad --jobs (want workers > 0): {v}")))?;
+        } else if let Some(v) = a.strip_prefix("--report=") {
+            o.report = Some(v.to_owned());
+        } else if let Some(v) = a.strip_prefix("--to=") {
+            o.to = Some(v.to_owned());
         } else if a.starts_with("--") {
             return Err(err(format!("unknown flag: {a}")));
         } else {
@@ -183,7 +199,11 @@ pub const USAGE: &str = "usage:
   velodrome info <workload|FILE> [--scale=N] [--seed=S]
   velodrome replay <workload> <FILE> [--scale=N]
   velodrome compare <workload|FILE> [--scale=N] [--seed=S]
+  velodrome convert <IN> <OUT> [--to=json|vbt]
+  velodrome check-batch <DIR|MANIFEST> [--jobs=N] [--backend=NAME] [--report=FILE]
   velodrome metrics-verify <FILE> [--require=NAME,NAME]
+trace files: JSON or binary VBT, sniffed by magic bytes; `convert`
+  translates between the formats and every command accepts either
 backends: velodrome (default), velodrome-hybrid (vector-clock screen online,
   graph engine on escalation; same warnings as velodrome), aerodrome
   (linear-time vector-clock verdicts only), velodrome-nomerge, atomizer,
@@ -197,6 +217,10 @@ output flags: --dot (error graphs), --json (machine-readable warnings)
 metrics flags: --metrics-out=FILE (JSON Lines telemetry snapshots;
   velodrome and hybrid backends), --metrics-interval=N (events per
   snapshot, default 10000; a final snapshot is always written)
+batch flags: --jobs=N (worker-pool size, default 4), --report=FILE (JSONL
+  per-trace report to FILE, human summary to stdout; without it the JSONL
+  goes to stdout); with --metrics-out, check-batch writes one merged
+  snapshot carrying batch.* gauges
 exit codes: 0 ok, 2 usage error, 3 I/O error, 4 malformed input file";
 
 /// Backend names `--backend=` accepts. `velodrome-bench`'s `Backend::ALL`
@@ -231,6 +255,8 @@ pub fn execute(args: &[String]) -> Result<String, CliError> {
         "info" => info(&opts),
         "replay" => replay(&opts),
         "compare" => compare(&opts),
+        "convert" => convert(&opts),
+        "check-batch" => batch::check_batch_cmd(&opts),
         "metrics-verify" => metrics_verify(&opts),
         other => Err(err(format!("unknown command `{other}`\n{USAGE}"))),
     }
@@ -426,6 +452,12 @@ fn analyze_with(
         } else {
             run_tool(&mut engine, trace)
         };
+        // A caller-provided registry without --metrics-out (the batch
+        // runner) still wants the engine's final gauges for its merged
+        // snapshot.
+        if opts.metrics_out.is_none() && telemetry.is_enabled() {
+            engine.publish_telemetry_to(telemetry);
+        }
         let stats = engine.stats();
         if stats.warnings_suppressed > 0 {
             notes.push(format!(
@@ -464,6 +496,9 @@ fn analyze_with(
         } else {
             run_tool(&mut checker, trace)
         };
+        if opts.metrics_out.is_none() && telemetry.is_enabled() {
+            checker.publish_telemetry_to(telemetry);
+        }
         let stats = checker.stats();
         match stats.escalated_at {
             Some(at) => notes.push(format!(
@@ -644,9 +679,72 @@ fn record(opts: &Options) -> Result<String, CliError> {
 /// Reads and parses a trace file with structured diagnostics: an unreadable
 /// path is an I/O error (exit 3); unparseable contents are a malformed-input
 /// error (exit 4) naming the file, byte offset, and reason.
+///
+/// The format is sniffed from the first bytes: the VBT magic selects the
+/// binary reader, anything else streams through the incremental JSON
+/// parser. Neither path ever holds the input text in memory — peak
+/// allocation is one fixed read buffer plus the decoded trace, so
+/// multi-hundred-megabyte recordings load without tripling RSS.
 fn read_trace_file(path: &str) -> Result<Trace, CliError> {
-    let json = std::fs::read_to_string(path).map_err(|e| io_err(format!("reading {path}: {e}")))?;
-    Trace::from_json(&json).map_err(|e| input_err(format!("malformed trace file {path}: {e}")))
+    use std::io::Read as _;
+    let mut file = std::fs::File::open(path).map_err(|e| io_err(format!("reading {path}: {e}")))?;
+    // Sniff up to the first 4 bytes, then replay them ahead of the rest of
+    // the stream so the chosen parser still sees the file from byte 0.
+    let mut head = [0u8; 4];
+    let mut got = 0usize;
+    while got < head.len() {
+        match file.read(&mut head[got..]) {
+            Ok(0) => break,
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(io_err(format!("reading {path}: {e}"))),
+        }
+    }
+    let src = head[..got].chain(file);
+    let result = if velodrome_events::is_vbt(&head[..got]) {
+        velodrome_events::read_vbt(src)
+    } else {
+        velodrome_events::read_json_trace(src)
+    };
+    result.map_err(|e| match e {
+        velodrome_events::TraceReadError::Io(e) => io_err(format!("reading {path}: {e}")),
+        malformed => input_err(format!("malformed trace file {path}: {malformed}")),
+    })
+}
+
+/// Translates a trace between the JSON and VBT encodings. The target
+/// format comes from `--to=json|vbt` or, failing that, the output path's
+/// extension.
+fn convert(opts: &Options) -> Result<String, CliError> {
+    let inp = opts.positional.first().ok_or_else(|| err(USAGE))?;
+    let out = opts
+        .positional
+        .get(1)
+        .ok_or_else(|| err("convert requires an input and an output path"))?;
+    let target = match opts.to.as_deref() {
+        Some("json") => "json",
+        Some("vbt") => "vbt",
+        Some(other) => return Err(err(format!("bad --to: {other} (want json or vbt)"))),
+        None if out.ends_with(".vbt") => "vbt",
+        None if out.ends_with(".json") => "json",
+        None => {
+            return Err(err(format!(
+                "cannot infer the target format from `{out}`; pass --to=json|vbt"
+            )))
+        }
+    };
+    let trace = read_trace_file(inp)?;
+    if target == "vbt" {
+        let file = std::fs::File::create(out).map_err(|e| io_err(format!("writing {out}: {e}")))?;
+        velodrome_events::write_vbt(std::io::BufWriter::new(file), &trace)
+            .map_err(|e| io_err(format!("writing {out}: {e}")))?;
+    } else {
+        std::fs::write(out, trace.to_json()).map_err(|e| io_err(format!("writing {out}: {e}")))?;
+    }
+    Ok(format!(
+        "converted {} events: {inp} -> {out} ({target})\n",
+        trace.len()
+    ))
 }
 
 fn load_trace(opts: &Options) -> Result<Trace, CliError> {
@@ -657,6 +755,12 @@ fn load_trace(opts: &Options) -> Result<Trace, CliError> {
 fn trace_cmd(opts: &Options) -> Result<String, CliError> {
     let trace = load_trace(opts)?;
     let analysis = analyze(&trace, opts, &WatchdogStats::default())?;
+    if opts.json {
+        return Ok(format!(
+            "{}\n",
+            serde_json::to_string_pretty(&analysis.warnings).expect("warnings serialize")
+        ));
+    }
     Ok(render_analysis(&trace, &analysis, opts.dot))
 }
 

@@ -46,6 +46,8 @@
 //! assert!(warnings[0].message.contains("increment is not atomic"));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod arena;
 pub mod engine;
 pub mod hybrid;

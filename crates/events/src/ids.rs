@@ -147,6 +147,33 @@ impl SymbolTable {
             .cloned()
             .unwrap_or_else(|| l.to_string())
     }
+
+    fn sorted_entries(map: &HashMap<u32, String>) -> Vec<(u32, &str)> {
+        let mut entries: Vec<(u32, &str)> = map.iter().map(|(&k, v)| (k, v.as_str())).collect();
+        entries.sort_unstable_by_key(|&(k, _)| k);
+        entries
+    }
+
+    /// Registered `(id, name)` pairs for threads, sorted by id. Used by
+    /// serializers that need a deterministic iteration order.
+    pub fn thread_entries(&self) -> Vec<(u32, &str)> {
+        Self::sorted_entries(&self.threads)
+    }
+
+    /// Registered `(id, name)` pairs for variables, sorted by id.
+    pub fn var_entries(&self) -> Vec<(u32, &str)> {
+        Self::sorted_entries(&self.vars)
+    }
+
+    /// Registered `(id, name)` pairs for locks, sorted by id.
+    pub fn lock_entries(&self) -> Vec<(u32, &str)> {
+        Self::sorted_entries(&self.locks)
+    }
+
+    /// Registered `(id, name)` pairs for labels, sorted by id.
+    pub fn label_entries(&self) -> Vec<(u32, &str)> {
+        Self::sorted_entries(&self.labels)
+    }
 }
 
 #[cfg(test)]

@@ -13,7 +13,11 @@
 //! * [`txn`] — segmentation of a trace into transactions
 //!   ([`Transactions`]);
 //! * [`oracle`] — an offline, from-first-principles serializability
-//!   decision procedure used as differential-testing ground truth.
+//!   decision procedure used as differential-testing ground truth;
+//! * [`stream`] — incremental JSON trace ingestion with byte-offset
+//!   error reporting and bounded memory;
+//! * [`vbt`] — the compact VBT binary trace format (varint ops, string
+//!   tables, length-prefixed frames) with a streaming reader and writer.
 //!
 //! # Example
 //!
@@ -28,16 +32,22 @@
 //! assert!(!oracle::is_serializable(&b.finish()));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod ids;
 pub mod op;
 pub mod oracle;
 pub mod semantics;
 pub mod stats;
+pub mod stream;
 pub mod trace;
 pub mod txn;
+pub mod vbt;
 
 pub use ids::{Label, LockId, SymbolTable, ThreadId, VarId};
 pub use op::Op;
 pub use stats::TraceStats;
+pub use stream::{read_json_trace, scan_json_trace, JsonTraceSummary, TraceReadError};
 pub use trace::{Trace, TraceBuilder};
 pub use txn::{Transactions, TxnId, TxnInfo};
+pub use vbt::{is_vbt, read_vbt, trace_to_vbt, write_vbt, VbtReader};

@@ -1,0 +1,948 @@
+//! Incremental trace ingestion.
+//!
+//! [`Trace::from_json`] parses a complete in-memory string through the
+//! generic JSON value tree, which means reading a recorded trace costs
+//! *three* copies of the input (the text, the value tree, and the ops).
+//! This module parses trace JSON directly off an [`std::io::Read`] stream
+//! with one bounded buffer and no intermediate value tree: peak memory is
+//! the decoded operations themselves (or nothing at all with
+//! [`scan_json_trace`], which hands each operation to a callback as it is
+//! decoded). The binary VBT reader ([`crate::vbt`]) shares the same
+//! buffered byte source and error type.
+//!
+//! Every error carries the absolute byte offset of the first byte that
+//! could not be interpreted, so CLI diagnostics can point into the file.
+
+use crate::ids::SymbolTable;
+use crate::op::Op;
+use crate::trace::Trace;
+use crate::{Label, LockId, ThreadId, VarId};
+use std::fmt;
+use std::io::Read;
+
+/// Why a streaming trace read failed: the source itself, or its contents.
+///
+/// The distinction matters to callers that map errors onto exit codes —
+/// a file that cannot be read is a different failure class from a file
+/// that reads fine but does not encode a trace.
+#[derive(Debug)]
+pub enum TraceReadError {
+    /// The underlying reader failed.
+    Io(std::io::Error),
+    /// The bytes read so far do not encode a valid trace.
+    Malformed {
+        /// Absolute offset, in bytes from the start of the stream, of the
+        /// first byte that could not be interpreted.
+        offset: u64,
+        /// What was expected or found there.
+        reason: String,
+    },
+}
+
+impl TraceReadError {
+    pub(crate) fn malformed(offset: u64, reason: impl Into<String>) -> Self {
+        Self::Malformed {
+            offset,
+            reason: reason.into(),
+        }
+    }
+
+    /// Returns `true` when the error describes malformed input rather than
+    /// an I/O failure.
+    pub fn is_malformed(&self) -> bool {
+        matches!(self, Self::Malformed { .. })
+    }
+}
+
+impl fmt::Display for TraceReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "{e}"),
+            Self::Malformed { offset, reason } => write!(f, "byte {offset}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceReadError {}
+
+impl From<std::io::Error> for TraceReadError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+const BUF_SIZE: usize = 64 * 1024;
+
+/// A buffered byte source that tracks the absolute offset of every byte it
+/// hands out. The single allocation shared by the JSON and VBT readers.
+pub(crate) struct ByteStream<R> {
+    src: R,
+    buf: Vec<u8>,
+    pos: usize,
+    len: usize,
+    /// Absolute offset of `buf[0]` within the stream.
+    base: u64,
+    eof: bool,
+}
+
+impl<R: Read> ByteStream<R> {
+    pub(crate) fn new(src: R) -> Self {
+        Self {
+            src,
+            buf: vec![0; BUF_SIZE],
+            pos: 0,
+            len: 0,
+            base: 0,
+            eof: false,
+        }
+    }
+
+    /// Absolute offset of the next unread byte.
+    pub(crate) fn offset(&self) -> u64 {
+        self.base + self.pos as u64
+    }
+
+    /// Ensures at least one byte is buffered; returns `false` at EOF.
+    fn refill(&mut self) -> Result<bool, TraceReadError> {
+        if self.pos < self.len {
+            return Ok(true);
+        }
+        if self.eof {
+            return Ok(false);
+        }
+        self.base += self.len as u64;
+        self.pos = 0;
+        self.len = 0;
+        loop {
+            match self.src.read(&mut self.buf) {
+                Ok(0) => {
+                    self.eof = true;
+                    return Ok(false);
+                }
+                Ok(n) => {
+                    self.len = n;
+                    return Ok(true);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(TraceReadError::Io(e)),
+            }
+        }
+    }
+
+    /// The next byte without consuming it, or `None` at EOF.
+    pub(crate) fn peek(&mut self) -> Result<Option<u8>, TraceReadError> {
+        Ok(if self.refill()? {
+            Some(self.buf[self.pos])
+        } else {
+            None
+        })
+    }
+
+    /// Consumes the byte last returned by a successful [`Self::peek`].
+    pub(crate) fn bump(&mut self) {
+        debug_assert!(self.pos < self.len);
+        self.pos += 1;
+    }
+
+    /// Reads and consumes the next byte, or `None` at EOF.
+    pub(crate) fn next_byte(&mut self) -> Result<Option<u8>, TraceReadError> {
+        let b = self.peek()?;
+        if b.is_some() {
+            self.bump();
+        }
+        Ok(b)
+    }
+
+    /// Fills `out` exactly, or fails with a malformed-input error naming
+    /// the offset where the stream ran dry.
+    pub(crate) fn read_exact(&mut self, out: &mut [u8]) -> Result<(), TraceReadError> {
+        let mut filled = 0;
+        while filled < out.len() {
+            if !self.refill()? {
+                return Err(TraceReadError::malformed(
+                    self.offset(),
+                    format!(
+                        "unexpected end of input ({filled} of {} bytes available)",
+                        out.len()
+                    ),
+                ));
+            }
+            let n = (self.len - self.pos).min(out.len() - filled);
+            out[filled..filled + n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+            self.pos += n;
+            filled += n;
+        }
+        Ok(())
+    }
+}
+
+/// What a streamed JSON trace carries besides the operations themselves.
+/// Returned by [`scan_json_trace`].
+#[derive(Debug)]
+pub struct JsonTraceSummary {
+    /// The trace's symbol table.
+    pub names: SymbolTable,
+    /// Sorted, deduplicated indices of synthesized operations, validated
+    /// to be in bounds.
+    pub synthesized: Vec<usize>,
+    /// Number of operations streamed to the callback.
+    pub ops: usize,
+}
+
+/// Parses a JSON trace incrementally from `src` into a [`Trace`].
+///
+/// Accepts the same documents as [`Trace::from_json`] but never holds the
+/// input text (or a JSON value tree) in memory: peak allocation is one
+/// fixed 64 KiB read buffer plus the decoded trace itself.
+pub fn read_json_trace<R: Read>(src: R) -> Result<Trace, TraceReadError> {
+    let mut ops = Vec::new();
+    let summary = scan_json_trace(src, |_, op| ops.push(op))?;
+    // Bounds were validated by the scan; re-assembly cannot fail.
+    Trace::from_raw_parts(ops, summary.names, summary.synthesized)
+        .map_err(|reason| TraceReadError::malformed(0, reason))
+}
+
+/// Parses a JSON trace incrementally, invoking `on_op(index, op)` for each
+/// operation instead of collecting them. Memory use is bounded by the
+/// 64 KiB read buffer and the (small) symbol table, independent of input
+/// size — this is what lets a multi-hundred-megabyte trace stream through
+/// a fixed footprint.
+pub fn scan_json_trace<R: Read, F: FnMut(usize, Op)>(
+    src: R,
+    on_op: F,
+) -> Result<JsonTraceSummary, TraceReadError> {
+    JsonParser::new(src).parse_trace(on_op)
+}
+
+/// Top-level keys of a trace document.
+#[derive(Clone, Copy, PartialEq)]
+enum TopKey {
+    Ops,
+    Names,
+    Synthesized,
+    Unknown,
+}
+
+/// Operation tags, i.e. the variant names of [`Op`].
+#[derive(Clone, Copy)]
+enum Tag {
+    Read,
+    Write,
+    Acquire,
+    Release,
+    Begin,
+    End,
+    Fork,
+    Join,
+}
+
+impl Tag {
+    fn name(self) -> &'static str {
+        match self {
+            Tag::Read => "Read",
+            Tag::Write => "Write",
+            Tag::Acquire => "Acquire",
+            Tag::Release => "Release",
+            Tag::Begin => "Begin",
+            Tag::End => "End",
+            Tag::Fork => "Fork",
+            Tag::Join => "Join",
+        }
+    }
+
+    /// The second operand's field name, if the variant has one.
+    fn operand(self) -> Option<&'static str> {
+        match self {
+            Tag::Read | Tag::Write => Some("x"),
+            Tag::Acquire | Tag::Release => Some("m"),
+            Tag::Begin => Some("l"),
+            Tag::End => None,
+            Tag::Fork | Tag::Join => Some("child"),
+        }
+    }
+}
+
+const MAX_DEPTH: u32 = 128;
+
+struct JsonParser<R> {
+    s: ByteStream<R>,
+    /// Reusable decode buffer for string contents, so steady-state parsing
+    /// performs no per-token allocation.
+    scratch: Vec<u8>,
+}
+
+impl<R: Read> JsonParser<R> {
+    fn new(src: R) -> Self {
+        Self {
+            s: ByteStream::new(src),
+            scratch: Vec::with_capacity(64),
+        }
+    }
+
+    fn fail(&self, reason: impl Into<String>) -> TraceReadError {
+        TraceReadError::malformed(self.s.offset(), reason)
+    }
+
+    fn skip_ws(&mut self) -> Result<(), TraceReadError> {
+        while let Some(b) = self.s.peek()? {
+            match b {
+                b' ' | b'\t' | b'\n' | b'\r' => self.s.bump(),
+                _ => break,
+            }
+        }
+        Ok(())
+    }
+
+    fn expect(&mut self, want: u8, what: &str) -> Result<(), TraceReadError> {
+        match self.s.peek()? {
+            Some(b) if b == want => {
+                self.s.bump();
+                Ok(())
+            }
+            Some(b) => Err(self.fail(format!("expected {what}, found `{}`", b as char))),
+            None => Err(self.fail(format!("unexpected end of input (expected {what})"))),
+        }
+    }
+
+    /// Decodes a JSON string (including escapes) into `self.scratch`.
+    fn parse_string(&mut self) -> Result<(), TraceReadError> {
+        self.expect(b'"', "a string")?;
+        self.scratch.clear();
+        loop {
+            let Some(b) = self.s.next_byte()? else {
+                return Err(self.fail("unexpected end of input in string"));
+            };
+            match b {
+                b'"' => return Ok(()),
+                b'\\' => {
+                    let Some(e) = self.s.next_byte()? else {
+                        return Err(self.fail("unexpected end of input in escape"));
+                    };
+                    match e {
+                        b'"' => self.scratch.push(b'"'),
+                        b'\\' => self.scratch.push(b'\\'),
+                        b'/' => self.scratch.push(b'/'),
+                        b'b' => self.scratch.push(0x08),
+                        b'f' => self.scratch.push(0x0c),
+                        b'n' => self.scratch.push(b'\n'),
+                        b'r' => self.scratch.push(b'\r'),
+                        b't' => self.scratch.push(b'\t'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // A high surrogate must pair with `\uXXXX`.
+                                if self.s.next_byte()? != Some(b'\\')
+                                    || self.s.next_byte()? != Some(b'u')
+                                {
+                                    return Err(self.fail("unpaired surrogate in string"));
+                                }
+                                let lo = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.fail("invalid low surrogate in string"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return Err(self.fail("unpaired surrogate in string"));
+                            } else {
+                                hi
+                            };
+                            let ch = char::from_u32(code)
+                                .ok_or_else(|| self.fail("invalid unicode escape"))?;
+                            let mut utf8 = [0u8; 4];
+                            self.scratch.extend(ch.encode_utf8(&mut utf8).as_bytes());
+                        }
+                        other => {
+                            return Err(self.fail(format!("invalid escape `\\{}`", other as char)));
+                        }
+                    }
+                }
+                _ => self.scratch.push(b),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, TraceReadError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let Some(b) = self.s.next_byte()? else {
+                return Err(self.fail("unexpected end of input in unicode escape"));
+            };
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.fail("invalid hex digit in unicode escape"))?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    /// The scratch buffer as UTF-8 text (for error messages and name values).
+    fn scratch_str(&self) -> Result<&str, TraceReadError> {
+        std::str::from_utf8(&self.scratch)
+            .map_err(|_| TraceReadError::malformed(self.s.offset(), "invalid UTF-8 in string"))
+    }
+
+    /// Parses a non-negative integer. Fractional or signed numbers are
+    /// rejected: every number in a trace document is an identifier or an
+    /// index.
+    fn parse_u64(&mut self) -> Result<u64, TraceReadError> {
+        let mut v: u64 = 0;
+        let mut digits = 0u32;
+        while let Some(b) = self.s.peek()? {
+            if !b.is_ascii_digit() {
+                break;
+            }
+            self.s.bump();
+            v = v
+                .checked_mul(10)
+                .and_then(|v| v.checked_add((b - b'0') as u64))
+                .ok_or_else(|| self.fail("integer too large"))?;
+            digits += 1;
+        }
+        if digits == 0 {
+            return Err(self.fail("expected an unsigned integer"));
+        }
+        if let Some(b'.' | b'e' | b'E') = self.s.peek()? {
+            return Err(self.fail("expected an unsigned integer, found a non-integer number"));
+        }
+        Ok(v)
+    }
+
+    fn parse_u32(&mut self, what: &str) -> Result<u32, TraceReadError> {
+        let v = self.parse_u64()?;
+        u32::try_from(v).map_err(|_| self.fail(format!("{what} {v} out of range")))
+    }
+
+    /// Skips one JSON value of any shape (used for unknown keys).
+    fn skip_value(&mut self, depth: u32) -> Result<(), TraceReadError> {
+        if depth > MAX_DEPTH {
+            return Err(self.fail("nesting too deep"));
+        }
+        self.skip_ws()?;
+        match self.s.peek()? {
+            Some(b'"') => self.parse_string(),
+            Some(b'{') => {
+                self.s.bump();
+                self.skip_ws()?;
+                if self.s.peek()? == Some(b'}') {
+                    self.s.bump();
+                    return Ok(());
+                }
+                loop {
+                    self.skip_ws()?;
+                    self.parse_string()?;
+                    self.skip_ws()?;
+                    self.expect(b':', "`:`")?;
+                    self.skip_value(depth + 1)?;
+                    self.skip_ws()?;
+                    match self.s.next_byte()? {
+                        Some(b',') => continue,
+                        Some(b'}') => return Ok(()),
+                        _ => return Err(self.fail("expected `,` or `}` in object")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.s.bump();
+                self.skip_ws()?;
+                if self.s.peek()? == Some(b']') {
+                    self.s.bump();
+                    return Ok(());
+                }
+                loop {
+                    self.skip_value(depth + 1)?;
+                    self.skip_ws()?;
+                    match self.s.next_byte()? {
+                        Some(b',') => continue,
+                        Some(b']') => return Ok(()),
+                        _ => return Err(self.fail("expected `,` or `]` in array")),
+                    }
+                }
+            }
+            Some(b't') => self.expect_literal(b"true"),
+            Some(b'f') => self.expect_literal(b"false"),
+            Some(b'n') => self.expect_literal(b"null"),
+            Some(b'-') | Some(b'0'..=b'9') => self.skip_number(),
+            Some(b) => Err(self.fail(format!("unexpected character `{}`", b as char))),
+            None => Err(self.fail("unexpected end of input")),
+        }
+    }
+
+    fn expect_literal(&mut self, lit: &[u8]) -> Result<(), TraceReadError> {
+        for &want in lit {
+            if self.s.next_byte()? != Some(want) {
+                return Err(self.fail(format!(
+                    "invalid literal (expected `{}`)",
+                    std::str::from_utf8(lit).unwrap()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn skip_number(&mut self) -> Result<(), TraceReadError> {
+        if self.s.peek()? == Some(b'-') {
+            self.s.bump();
+        }
+        let mut digits = 0;
+        while let Some(b) = self.s.peek()? {
+            match b {
+                b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    self.s.bump();
+                    digits += 1;
+                }
+                _ => break,
+            }
+        }
+        if digits == 0 {
+            return Err(self.fail("expected a number"));
+        }
+        Ok(())
+    }
+
+    fn parse_trace<F: FnMut(usize, Op)>(
+        mut self,
+        mut on_op: F,
+    ) -> Result<JsonTraceSummary, TraceReadError> {
+        self.skip_ws()?;
+        self.expect(b'{', "a trace object")?;
+        let mut names: Option<SymbolTable> = None;
+        let mut synthesized: Option<Vec<usize>> = None;
+        let mut ops: Option<usize> = None;
+        self.skip_ws()?;
+        if self.s.peek()? == Some(b'}') {
+            self.s.bump();
+        } else {
+            loop {
+                self.skip_ws()?;
+                self.parse_string()?;
+                let key = match self.scratch.as_slice() {
+                    b"ops" => TopKey::Ops,
+                    b"names" => TopKey::Names,
+                    b"synthesized" => TopKey::Synthesized,
+                    _ => TopKey::Unknown,
+                };
+                if match key {
+                    TopKey::Ops => ops.is_some(),
+                    TopKey::Names => names.is_some(),
+                    TopKey::Synthesized => synthesized.is_some(),
+                    TopKey::Unknown => false,
+                } {
+                    return Err(self.fail("duplicate key in trace object"));
+                }
+                self.skip_ws()?;
+                self.expect(b':', "`:`")?;
+                self.skip_ws()?;
+                match key {
+                    TopKey::Ops => ops = Some(self.parse_ops(&mut on_op)?),
+                    TopKey::Names => names = Some(self.parse_names()?),
+                    TopKey::Synthesized => synthesized = Some(self.parse_synthesized()?),
+                    TopKey::Unknown => self.skip_value(0)?,
+                }
+                self.skip_ws()?;
+                match self.s.next_byte()? {
+                    Some(b',') => continue,
+                    Some(b'}') => break,
+                    _ => return Err(self.fail("expected `,` or `}` in trace object")),
+                }
+            }
+        }
+        self.skip_ws()?;
+        if self.s.peek()?.is_some() {
+            return Err(self.fail("trailing data after trace object"));
+        }
+        let ops = ops.ok_or_else(|| self.fail("trace object is missing `ops`"))?;
+        let names = names.ok_or_else(|| self.fail("trace object is missing `names`"))?;
+        let mut synthesized = synthesized.unwrap_or_default();
+        synthesized.sort_unstable();
+        synthesized.dedup();
+        if let Some(&last) = synthesized.last() {
+            if last >= ops {
+                return Err(self.fail(format!(
+                    "synthesized index {last} out of bounds for {ops} ops"
+                )));
+            }
+        }
+        Ok(JsonTraceSummary {
+            names,
+            synthesized,
+            ops,
+        })
+    }
+
+    fn parse_ops<F: FnMut(usize, Op)>(&mut self, on_op: &mut F) -> Result<usize, TraceReadError> {
+        self.expect(b'[', "an array for `ops`")?;
+        let mut count = 0usize;
+        self.skip_ws()?;
+        if self.s.peek()? == Some(b']') {
+            self.s.bump();
+            return Ok(0);
+        }
+        loop {
+            self.skip_ws()?;
+            let op = self.parse_op()?;
+            on_op(count, op);
+            count += 1;
+            self.skip_ws()?;
+            match self.s.next_byte()? {
+                Some(b',') => continue,
+                Some(b']') => return Ok(count),
+                _ => return Err(self.fail("expected `,` or `]` in `ops`")),
+            }
+        }
+    }
+
+    /// Parses one externally tagged operation: `{"Read":{"t":0,"x":1}}`.
+    fn parse_op(&mut self) -> Result<Op, TraceReadError> {
+        self.expect(b'{', "an operation object")?;
+        self.skip_ws()?;
+        self.parse_string()?;
+        let tag = match self.scratch.as_slice() {
+            b"Read" => Tag::Read,
+            b"Write" => Tag::Write,
+            b"Acquire" => Tag::Acquire,
+            b"Release" => Tag::Release,
+            b"Begin" => Tag::Begin,
+            b"End" => Tag::End,
+            b"Fork" => Tag::Fork,
+            b"Join" => Tag::Join,
+            _ => {
+                let name = self.scratch_str().unwrap_or("<non-UTF-8>").to_owned();
+                return Err(self.fail(format!("unknown operation `{name}`")));
+            }
+        };
+        self.skip_ws()?;
+        self.expect(b':', "`:`")?;
+        self.skip_ws()?;
+        self.expect(b'{', "an operation body")?;
+        let mut t: Option<u32> = None;
+        let mut operand: Option<u32> = None;
+        self.skip_ws()?;
+        if self.s.peek()? == Some(b'}') {
+            self.s.bump();
+        } else {
+            loop {
+                self.skip_ws()?;
+                self.parse_string()?;
+                #[derive(PartialEq)]
+                enum Field {
+                    Thread,
+                    Operand,
+                    Unknown,
+                }
+                let field = if self.scratch.as_slice() == b"t" {
+                    Field::Thread
+                } else if tag.operand().is_some_and(|f| f.as_bytes() == self.scratch) {
+                    Field::Operand
+                } else {
+                    Field::Unknown
+                };
+                self.skip_ws()?;
+                self.expect(b':', "`:`")?;
+                self.skip_ws()?;
+                match field {
+                    Field::Thread => t = Some(self.parse_u32("thread id")?),
+                    Field::Operand => operand = Some(self.parse_u32("identifier")?),
+                    Field::Unknown => self.skip_value(0)?,
+                }
+                self.skip_ws()?;
+                match self.s.next_byte()? {
+                    Some(b',') => continue,
+                    Some(b'}') => break,
+                    _ => return Err(self.fail("expected `,` or `}` in operation body")),
+                }
+            }
+        }
+        // Any further entries in the operation object are ignored, matching
+        // the value-tree parser (which reads the first entry only).
+        self.skip_ws()?;
+        loop {
+            match self.s.next_byte()? {
+                Some(b'}') => break,
+                Some(b',') => {
+                    self.skip_ws()?;
+                    self.parse_string()?;
+                    self.skip_ws()?;
+                    self.expect(b':', "`:`")?;
+                    self.skip_value(0)?;
+                    self.skip_ws()?;
+                }
+                _ => return Err(self.fail("expected `,` or `}` in operation object")),
+            }
+        }
+        let t = ThreadId::new(
+            t.ok_or_else(|| self.fail(format!("missing field `t` in {}", tag.name())))?,
+        );
+        let require = |this: &Self, v: Option<u32>| {
+            v.ok_or_else(|| {
+                this.fail(format!(
+                    "missing field `{}` in {}",
+                    tag.operand().unwrap_or("?"),
+                    tag.name()
+                ))
+            })
+        };
+        Ok(match tag {
+            Tag::Read => Op::Read {
+                t,
+                x: VarId::new(require(self, operand)?),
+            },
+            Tag::Write => Op::Write {
+                t,
+                x: VarId::new(require(self, operand)?),
+            },
+            Tag::Acquire => Op::Acquire {
+                t,
+                m: LockId::new(require(self, operand)?),
+            },
+            Tag::Release => Op::Release {
+                t,
+                m: LockId::new(require(self, operand)?),
+            },
+            Tag::Begin => Op::Begin {
+                t,
+                l: Label::new(require(self, operand)?),
+            },
+            Tag::End => Op::End { t },
+            Tag::Fork => Op::Fork {
+                t,
+                child: ThreadId::new(require(self, operand)?),
+            },
+            Tag::Join => Op::Join {
+                t,
+                child: ThreadId::new(require(self, operand)?),
+            },
+        })
+    }
+
+    /// Parses the `names` object: four id→name maps keyed by decimal
+    /// strings, in any order; unknown keys are skipped.
+    fn parse_names(&mut self) -> Result<SymbolTable, TraceReadError> {
+        let mut table = SymbolTable::new();
+        let mut seen = [false; 4];
+        self.expect(b'{', "an object for `names`")?;
+        self.skip_ws()?;
+        if self.s.peek()? == Some(b'}') {
+            self.s.bump();
+        } else {
+            loop {
+                self.skip_ws()?;
+                self.parse_string()?;
+                let slot = match self.scratch.as_slice() {
+                    b"threads" => Some(0),
+                    b"vars" => Some(1),
+                    b"locks" => Some(2),
+                    b"labels" => Some(3),
+                    _ => None,
+                };
+                self.skip_ws()?;
+                self.expect(b':', "`:`")?;
+                self.skip_ws()?;
+                match slot {
+                    Some(i) => {
+                        seen[i] = true;
+                        self.parse_id_map(
+                            |id, name, table: &mut SymbolTable| match i {
+                                0 => table.name_thread(ThreadId::new(id), name),
+                                1 => table.name_var(VarId::new(id), name),
+                                2 => table.name_lock(LockId::new(id), name),
+                                _ => table.name_label(Label::new(id), name),
+                            },
+                            &mut table,
+                        )?;
+                    }
+                    None => self.skip_value(0)?,
+                }
+                self.skip_ws()?;
+                match self.s.next_byte()? {
+                    Some(b',') => continue,
+                    Some(b'}') => break,
+                    _ => return Err(self.fail("expected `,` or `}` in `names`")),
+                }
+            }
+        }
+        for (i, field) in ["threads", "vars", "locks", "labels"].iter().enumerate() {
+            if !seen[i] {
+                return Err(self.fail(format!("`names` is missing `{field}`")));
+            }
+        }
+        Ok(table)
+    }
+
+    fn parse_id_map(
+        &mut self,
+        mut insert: impl FnMut(u32, String, &mut SymbolTable),
+        table: &mut SymbolTable,
+    ) -> Result<(), TraceReadError> {
+        self.expect(b'{', "an object")?;
+        self.skip_ws()?;
+        if self.s.peek()? == Some(b'}') {
+            self.s.bump();
+            return Ok(());
+        }
+        loop {
+            self.skip_ws()?;
+            self.parse_string()?;
+            let id: u32 = self
+                .scratch_str()?
+                .parse()
+                .map_err(|_| self.fail("expected a decimal id key"))?;
+            self.skip_ws()?;
+            self.expect(b':', "`:`")?;
+            self.skip_ws()?;
+            self.parse_string()?;
+            let name = self.scratch_str()?.to_owned();
+            insert(id, name, table);
+            self.skip_ws()?;
+            match self.s.next_byte()? {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(()),
+                _ => return Err(self.fail("expected `,` or `}` in name map")),
+            }
+        }
+    }
+
+    fn parse_synthesized(&mut self) -> Result<Vec<usize>, TraceReadError> {
+        self.expect(b'[', "an array for `synthesized`")?;
+        let mut out = Vec::new();
+        self.skip_ws()?;
+        if self.s.peek()? == Some(b']') {
+            self.s.bump();
+            return Ok(out);
+        }
+        loop {
+            self.skip_ws()?;
+            let v = self.parse_u64()?;
+            out.push(usize::try_from(v).map_err(|_| self.fail("index too large"))?);
+            self.skip_ws()?;
+            match self.s.next_byte()? {
+                Some(b',') => continue,
+                Some(b']') => return Ok(out),
+                _ => return Err(self.fail("expected `,` or `]` in `synthesized`")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceBuilder;
+
+    fn sample_trace() -> Trace {
+        let mut b = TraceBuilder::new();
+        b.begin("T1", "add").acquire("T1", "m").read("T1", "v");
+        b.write("T2", "v");
+        b.release("T1", "m").end("T1");
+        b.fork("T1", "T3").join("T1", "T3");
+        b.finish()
+    }
+
+    #[test]
+    fn streaming_parse_matches_value_tree_parse() {
+        let trace = sample_trace();
+        let json = trace.to_json();
+        let streamed = read_json_trace(json.as_bytes()).unwrap();
+        assert_eq!(streamed.ops(), trace.ops());
+        assert_eq!(streamed.to_json(), json);
+    }
+
+    #[test]
+    fn synthesized_indices_roundtrip_and_are_validated() {
+        let mut trace = sample_trace();
+        trace.mark_synthesized(5);
+        let json = trace.to_json();
+        let streamed = read_json_trace(json.as_bytes()).unwrap();
+        assert_eq!(streamed.synthesized(), &[5]);
+        assert_eq!(streamed.to_json(), json);
+        let bad = r#"{"ops":[{"End":{"t":0}}],"names":{"threads":{},"vars":{},"locks":{},"labels":{}},"synthesized":[7]}"#;
+        let e = read_json_trace(bad.as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("out of bounds"), "{e}");
+    }
+
+    #[test]
+    fn tolerates_whitespace_reordering_and_unknown_keys() {
+        let json = "\n{ \"extra\" : [1, {\"a\": null}, true] ,\n \"names\" : {\"labels\":{}, \"threads\": {\"0\":\"T1\"}, \"vars\":{}, \"locks\":{}, \"more\": 1},\n \"ops\" : [ {\"Read\": {\"x\": 2, \"t\": 0}} ] }\n";
+        let trace = read_json_trace(json.as_bytes()).unwrap();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(
+            trace.get(0),
+            Some(Op::Read {
+                t: ThreadId::new(0),
+                x: VarId::new(2)
+            })
+        );
+        assert_eq!(trace.names().thread(ThreadId::new(0)), "T1");
+    }
+
+    #[test]
+    fn string_escapes_decode() {
+        let json = r#"{"ops":[],"names":{"threads":{"0":"a\"b\\c\nA😀"},"vars":{},"locks":{},"labels":{}}}"#;
+        let trace = read_json_trace(json.as_bytes()).unwrap();
+        assert_eq!(trace.names().thread(ThreadId::new(0)), "a\"b\\c\nA😀");
+    }
+
+    #[test]
+    fn errors_carry_byte_offsets() {
+        for (doc, want) in [
+            ("", "byte 0"),
+            ("{\"ops\": 42}", "byte 8"),
+            ("{\"ops\": [], \"names\"", "byte 19"),
+            ("[1,2]", "byte 0"),
+        ] {
+            let e = read_json_trace(doc.as_bytes()).unwrap_err();
+            assert!(e.is_malformed(), "{doc:?}: {e}");
+            assert!(e.to_string().contains(want), "{doc:?}: {e}");
+        }
+        // Truncation mid-document points at the end of the input.
+        let full = sample_trace().to_json();
+        let cut = &full[..full.len() / 2];
+        let e = read_json_trace(cut.as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("byte"), "{e}");
+    }
+
+    #[test]
+    fn trailing_data_and_missing_fields_are_rejected() {
+        let e = read_json_trace(&b"{\"ops\":[],\"names\":{\"threads\":{},\"vars\":{},\"locks\":{},\"labels\":{}}} extra"[..])
+            .unwrap_err();
+        assert!(e.to_string().contains("trailing data"), "{e}");
+        let e = read_json_trace(&b"{}"[..]).unwrap_err();
+        assert!(e.to_string().contains("missing `ops`"), "{e}");
+        let e = read_json_trace(&b"{\"ops\":[]}"[..]).unwrap_err();
+        assert!(e.to_string().contains("missing `names`"), "{e}");
+        let e = read_json_trace(
+            &b"{\"ops\":[],\"names\":{\"threads\":{},\"vars\":{},\"locks\":{}}}"[..],
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("missing `labels`"), "{e}");
+        let e = read_json_trace(&b"{\"ops\":[{\"Read\":{\"t\":0}}],\"names\":{\"threads\":{},\"vars\":{},\"locks\":{},\"labels\":{}}}"[..])
+            .unwrap_err();
+        assert!(e.to_string().contains("missing field `x`"), "{e}");
+    }
+
+    #[test]
+    fn rejects_non_integer_ids() {
+        for doc in [
+            r#"{"ops":[{"Read":{"t":-1,"x":0}}],"names":{"threads":{},"vars":{},"locks":{},"labels":{}}}"#,
+            r#"{"ops":[{"Read":{"t":1.5,"x":0}}],"names":{"threads":{},"vars":{},"locks":{},"labels":{}}}"#,
+            r#"{"ops":[{"Read":{"t":5000000000,"x":0}}],"names":{"threads":{},"vars":{},"locks":{},"labels":{}}}"#,
+        ] {
+            let e = read_json_trace(doc.as_bytes()).unwrap_err();
+            assert!(e.is_malformed(), "{doc}: {e}");
+        }
+    }
+
+    #[test]
+    fn scan_streams_without_collecting() {
+        let trace = sample_trace();
+        let json = trace.to_json();
+        let mut count = 0usize;
+        let summary = scan_json_trace(json.as_bytes(), |i, op| {
+            assert_eq!(trace.get(i), Some(op));
+            count += 1;
+        })
+        .unwrap();
+        assert_eq!(count, trace.len());
+        assert_eq!(summary.ops, trace.len());
+        assert_eq!(summary.names.lock(LockId::new(0)), "m");
+    }
+}

@@ -47,25 +47,11 @@ impl Deserialize for Trace {
         let null = serde::Value::Null;
         let ops = Vec::<Op>::deserialize_value(obj.get("ops").unwrap_or(&null))?;
         let names = SymbolTable::deserialize_value(obj.get("names").unwrap_or(&null))?;
-        let mut synthesized = match obj.get("synthesized") {
+        let synthesized = match obj.get("synthesized") {
             Some(serde::Value::Null) | None => Vec::new(),
             Some(value) => Vec::<usize>::deserialize_value(value)?,
         };
-        synthesized.sort_unstable();
-        synthesized.dedup();
-        if let Some(&last) = synthesized.last() {
-            if last >= ops.len() {
-                return Err(serde::Error::custom(format!(
-                    "synthesized index {last} out of bounds for {} ops",
-                    ops.len()
-                )));
-            }
-        }
-        Ok(Self {
-            ops,
-            names,
-            synthesized,
-        })
+        Self::from_raw_parts(ops, names, synthesized).map_err(serde::Error::custom)
     }
 }
 
@@ -82,6 +68,32 @@ impl Trace {
             names: SymbolTable::new(),
             synthesized: Vec::new(),
         }
+    }
+
+    /// Assembles a trace from deserialized parts, normalizing the
+    /// synthesized-index list (sorted, deduplicated) and rejecting indices
+    /// that point past the end of the operation list. Shared by the JSON
+    /// and binary (VBT) readers so both enforce identical invariants.
+    pub(crate) fn from_raw_parts(
+        ops: Vec<Op>,
+        names: SymbolTable,
+        mut synthesized: Vec<usize>,
+    ) -> Result<Self, String> {
+        synthesized.sort_unstable();
+        synthesized.dedup();
+        if let Some(&last) = synthesized.last() {
+            if last >= ops.len() {
+                return Err(format!(
+                    "synthesized index {last} out of bounds for {} ops",
+                    ops.len()
+                ));
+            }
+        }
+        Ok(Self {
+            ops,
+            names,
+            synthesized,
+        })
     }
 
     /// Flags the operation at `index` as synthesized (inserted by the

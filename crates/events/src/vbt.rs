@@ -1,0 +1,668 @@
+//! VBT — the Velodrome binary trace format.
+//!
+//! JSON traces are convenient to inspect but expensive to ingest: every
+//! operation costs dozens of text bytes and a trip through a generic
+//! parser. VBT is the compact wire format for fleet-scale checking:
+//! varint-encoded operations, string tables for names, and length-prefixed
+//! frames that a reader can stream without ever materializing the whole
+//! file.
+//!
+//! # Wire layout
+//!
+//! All integers are unsigned LEB128 varints unless stated otherwise.
+//!
+//! ```text
+//! magic      4 bytes  b"VBTF"
+//! version    1 byte   0x01
+//! tables     4 string tables, in order: threads, vars, locks, labels
+//!              each: count, then count × (id, len, len bytes of UTF-8)
+//! synth      count, then count × delta         (see below)
+//! frames     repeated: body_len, body          (body_len = 0 terminates)
+//!              body: op_count, then op_count × op
+//!              op: tag byte, then operands as varints
+//! ```
+//!
+//! Synthesized indices are strictly increasing, so they are delta-coded:
+//! `index = prev + delta` and `prev = index + 1` after each. Operation
+//! tags and operands:
+//!
+//! | tag | op      | operands     |
+//! |-----|---------|--------------|
+//! | 0   | Read    | `t`, `x`     |
+//! | 1   | Write   | `t`, `x`     |
+//! | 2   | Acquire | `t`, `m`     |
+//! | 3   | Release | `t`, `m`     |
+//! | 4   | Begin   | `t`, `l`     |
+//! | 5   | End     | `t`          |
+//! | 6   | Fork    | `t`, `child` |
+//! | 7   | Join    | `t`, `child` |
+//!
+//! A zero-length frame is the end-of-trace sentinel; trailing bytes after
+//! it are an error, so truncation anywhere is detected. Hostile inputs are
+//! bounded everywhere: names over [`MAX_NAME_LEN`], tables over
+//! [`MAX_TABLE_ENTRIES`], and frames over [`MAX_FRAME_LEN`] are rejected
+//! as string-table / frame overflows rather than allocated.
+//!
+//! Every error carries the absolute byte offset of the first
+//! uninterpretable byte, matching the streaming JSON reader
+//! ([`crate::stream`]).
+
+use crate::ids::SymbolTable;
+use crate::op::Op;
+use crate::stream::{ByteStream, TraceReadError};
+use crate::trace::Trace;
+use crate::{Label, LockId, ThreadId, VarId};
+use std::io::{Read, Write};
+
+/// The four magic bytes opening every VBT stream.
+pub const MAGIC: [u8; 4] = *b"VBTF";
+/// The format version this module reads and writes.
+pub const VERSION: u8 = 1;
+/// Longest accepted name in a string table, in bytes.
+pub const MAX_NAME_LEN: u64 = 1 << 20;
+/// Most entries accepted in one string table.
+pub const MAX_TABLE_ENTRIES: u64 = 1 << 24;
+/// Largest accepted frame body, in bytes.
+pub const MAX_FRAME_LEN: u64 = 1 << 22;
+
+/// Operations encoded per frame by the writer (readers accept any split).
+const FRAME_OPS: usize = 4096;
+
+/// Returns `true` when `prefix` opens with the VBT magic (used to sniff a
+/// file's format before committing to a parser).
+pub fn is_vbt(prefix: &[u8]) -> bool {
+    prefix.starts_with(&MAGIC)
+}
+
+fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn push_op(out: &mut Vec<u8>, op: Op) {
+    let (tag, a, b) = match op {
+        Op::Read { t, x } => (0u8, t.raw(), Some(x.raw())),
+        Op::Write { t, x } => (1, t.raw(), Some(x.raw())),
+        Op::Acquire { t, m } => (2, t.raw(), Some(m.raw())),
+        Op::Release { t, m } => (3, t.raw(), Some(m.raw())),
+        Op::Begin { t, l } => (4, t.raw(), Some(l.raw())),
+        Op::End { t } => (5, t.raw(), None),
+        Op::Fork { t, child } => (6, t.raw(), Some(child.raw())),
+        Op::Join { t, child } => (7, t.raw(), Some(child.raw())),
+    };
+    out.push(tag);
+    push_varint(out, a as u64);
+    if let Some(b) = b {
+        push_varint(out, b as u64);
+    }
+}
+
+/// Encodes `trace` as VBT into `w`. Writes the header and string tables,
+/// then the operations in bounded frames, so memory use is independent of
+/// trace length.
+pub fn write_vbt<W: Write>(mut w: W, trace: &Trace) -> std::io::Result<()> {
+    let mut buf = Vec::with_capacity(64 * 1024);
+    buf.extend_from_slice(&MAGIC);
+    buf.push(VERSION);
+    let names = trace.names();
+    for entries in [
+        names.thread_entries(),
+        names.var_entries(),
+        names.lock_entries(),
+        names.label_entries(),
+    ] {
+        push_varint(&mut buf, entries.len() as u64);
+        for (id, name) in entries {
+            push_varint(&mut buf, id as u64);
+            push_varint(&mut buf, name.len() as u64);
+            buf.extend_from_slice(name.as_bytes());
+        }
+    }
+    push_varint(&mut buf, trace.synthesized().len() as u64);
+    let mut prev = 0u64;
+    for &idx in trace.synthesized() {
+        push_varint(&mut buf, idx as u64 - prev);
+        prev = idx as u64 + 1;
+    }
+    w.write_all(&buf)?;
+    let mut body = Vec::with_capacity(FRAME_OPS * 6);
+    for chunk in trace.ops().chunks(FRAME_OPS) {
+        body.clear();
+        push_varint(&mut body, chunk.len() as u64);
+        for &op in chunk {
+            push_op(&mut body, op);
+        }
+        buf.clear();
+        push_varint(&mut buf, body.len() as u64);
+        w.write_all(&buf)?;
+        w.write_all(&body)?;
+    }
+    // End-of-trace sentinel.
+    w.write_all(&[0])?;
+    Ok(())
+}
+
+/// Encodes `trace` as a VBT byte vector.
+pub fn trace_to_vbt(trace: &Trace) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_vbt(&mut out, trace).expect("writing to a Vec cannot fail");
+    out
+}
+
+/// Reads a complete VBT trace from `src`.
+pub fn read_vbt<R: Read>(src: R) -> Result<Trace, TraceReadError> {
+    VbtReader::new(src)?.read_to_trace()
+}
+
+/// A streaming VBT reader.
+///
+/// [`VbtReader::new`] consumes the header, string tables, and synthesized
+/// indices; [`VbtReader::next_op`] then decodes operations one at a time
+/// from length-prefixed frames. Only one frame body (≤ [`MAX_FRAME_LEN`])
+/// is buffered at a time and operations are decoded in place from that
+/// buffer without further copies, so arbitrarily long traces stream
+/// through a fixed footprint.
+pub struct VbtReader<R> {
+    s: ByteStream<R>,
+    names: SymbolTable,
+    synthesized: Vec<usize>,
+    /// Current frame body.
+    frame: Vec<u8>,
+    /// Next undecoded byte within `frame`.
+    frame_pos: usize,
+    /// Absolute stream offset of `frame[0]`.
+    frame_base: u64,
+    /// Operations still to decode from the current frame.
+    frame_ops_left: u64,
+    /// Set once the end-of-trace sentinel has been consumed.
+    finished: bool,
+    ops_read: usize,
+}
+
+impl<R: Read> VbtReader<R> {
+    /// Opens a VBT stream: checks the magic and version, then reads the
+    /// string tables and synthesized indices.
+    pub fn new(src: R) -> Result<Self, TraceReadError> {
+        let mut s = ByteStream::new(src);
+        let mut magic = [0u8; 4];
+        s.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(TraceReadError::malformed(
+                0,
+                format!("bad magic {magic:02x?}: not a VBT trace"),
+            ));
+        }
+        let mut version = [0u8; 1];
+        s.read_exact(&mut version)?;
+        if version[0] != VERSION {
+            return Err(TraceReadError::malformed(
+                4,
+                format!(
+                    "unsupported VBT version {} (expected {VERSION})",
+                    version[0]
+                ),
+            ));
+        }
+        let mut names = SymbolTable::new();
+        for table in 0..4u8 {
+            Self::read_table(&mut s, |id, name| match table {
+                0 => names.name_thread(ThreadId::new(id), name),
+                1 => names.name_var(VarId::new(id), name),
+                2 => names.name_lock(LockId::new(id), name),
+                _ => names.name_label(Label::new(id), name),
+            })?;
+        }
+        let count = read_varint(&mut s)?;
+        if count > MAX_TABLE_ENTRIES {
+            return Err(TraceReadError::malformed(
+                s.offset(),
+                format!("synthesized-index overflow: {count} entries exceed {MAX_TABLE_ENTRIES}"),
+            ));
+        }
+        let mut synthesized = Vec::with_capacity(count as usize);
+        let mut prev = 0u64;
+        for _ in 0..count {
+            let delta = read_varint(&mut s)?;
+            let idx = prev.checked_add(delta).ok_or_else(|| {
+                TraceReadError::malformed(s.offset(), "synthesized index overflows")
+            })?;
+            synthesized.push(usize::try_from(idx).map_err(|_| {
+                TraceReadError::malformed(s.offset(), "synthesized index overflows")
+            })?);
+            prev = idx + 1;
+        }
+        Ok(Self {
+            s,
+            names,
+            synthesized,
+            frame: Vec::new(),
+            frame_pos: 0,
+            frame_base: 0,
+            frame_ops_left: 0,
+            finished: false,
+            ops_read: 0,
+        })
+    }
+
+    fn read_table(
+        s: &mut ByteStream<R>,
+        mut insert: impl FnMut(u32, String),
+    ) -> Result<(), TraceReadError> {
+        let count = read_varint(s)?;
+        if count > MAX_TABLE_ENTRIES {
+            return Err(TraceReadError::malformed(
+                s.offset(),
+                format!("string-table overflow: {count} entries exceed {MAX_TABLE_ENTRIES}"),
+            ));
+        }
+        for _ in 0..count {
+            let id = read_varint(s)?;
+            let id = u32::try_from(id).map_err(|_| {
+                TraceReadError::malformed(s.offset(), format!("identifier {id} out of range"))
+            })?;
+            let len = read_varint(s)?;
+            if len > MAX_NAME_LEN {
+                return Err(TraceReadError::malformed(
+                    s.offset(),
+                    format!("string-table overflow: name of {len} bytes exceeds {MAX_NAME_LEN}"),
+                ));
+            }
+            let start = s.offset();
+            let mut bytes = vec![0u8; len as usize];
+            s.read_exact(&mut bytes)?;
+            let name = String::from_utf8(bytes).map_err(|_| {
+                TraceReadError::malformed(start, "string-table entry is not valid UTF-8")
+            })?;
+            insert(id, name);
+        }
+        Ok(())
+    }
+
+    /// The trace's symbol table (available before any operation is read).
+    pub fn names(&self) -> &SymbolTable {
+        &self.names
+    }
+
+    /// Sorted indices of synthesized operations. Bounds against the
+    /// operation count are validated once the final frame has been read.
+    pub fn synthesized(&self) -> &[usize] {
+        &self.synthesized
+    }
+
+    /// Operations decoded so far.
+    pub fn ops_read(&self) -> usize {
+        self.ops_read
+    }
+
+    fn frame_offset(&self) -> u64 {
+        self.frame_base + self.frame_pos as u64
+    }
+
+    fn frame_varint(&mut self) -> Result<u64, TraceReadError> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let Some(&byte) = self.frame.get(self.frame_pos) else {
+                return Err(TraceReadError::malformed(
+                    self.frame_offset(),
+                    "truncated frame: varint runs past the frame body",
+                ));
+            };
+            self.frame_pos += 1;
+            if shift >= 63 && byte > 1 {
+                return Err(TraceReadError::malformed(
+                    self.frame_offset(),
+                    "varint overflows 64 bits",
+                ));
+            }
+            v |= ((byte & 0x7f) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn frame_id(&mut self, what: &str) -> Result<u32, TraceReadError> {
+        let v = self.frame_varint()?;
+        u32::try_from(v).map_err(|_| {
+            TraceReadError::malformed(self.frame_offset(), format!("{what} {v} out of range"))
+        })
+    }
+
+    /// Decodes the next operation, or `None` after the end-of-trace
+    /// sentinel.
+    pub fn next_op(&mut self) -> Result<Option<Op>, TraceReadError> {
+        loop {
+            if self.frame_ops_left > 0 {
+                let op = self.decode_op()?;
+                self.frame_ops_left -= 1;
+                if self.frame_ops_left == 0 && self.frame_pos != self.frame.len() {
+                    return Err(TraceReadError::malformed(
+                        self.frame_offset(),
+                        format!(
+                            "frame has {} trailing bytes after its last operation",
+                            self.frame.len() - self.frame_pos
+                        ),
+                    ));
+                }
+                self.ops_read += 1;
+                return Ok(Some(op));
+            }
+            if self.finished {
+                return Ok(None);
+            }
+            let len = read_varint(&mut self.s)?;
+            if len == 0 {
+                self.finished = true;
+                if self.s.peek()?.is_some() {
+                    return Err(TraceReadError::malformed(
+                        self.s.offset(),
+                        "trailing data after end-of-trace frame",
+                    ));
+                }
+                return Ok(None);
+            }
+            if len > MAX_FRAME_LEN {
+                return Err(TraceReadError::malformed(
+                    self.s.offset(),
+                    format!("frame of {len} bytes exceeds {MAX_FRAME_LEN}"),
+                ));
+            }
+            self.frame_base = self.s.offset();
+            self.frame.resize(len as usize, 0);
+            self.s.read_exact(&mut self.frame)?;
+            self.frame_pos = 0;
+            self.frame_ops_left = self.frame_varint()?;
+            if self.frame_ops_left == 0 {
+                return Err(TraceReadError::malformed(
+                    self.frame_base,
+                    "frame declares zero operations",
+                ));
+            }
+        }
+    }
+
+    fn decode_op(&mut self) -> Result<Op, TraceReadError> {
+        let Some(&tag) = self.frame.get(self.frame_pos) else {
+            return Err(TraceReadError::malformed(
+                self.frame_offset(),
+                "truncated frame: operation tag missing",
+            ));
+        };
+        self.frame_pos += 1;
+        let t = ThreadId::new(self.frame_id("thread id")?);
+        Ok(match tag {
+            0 => Op::Read {
+                t,
+                x: VarId::new(self.frame_id("variable id")?),
+            },
+            1 => Op::Write {
+                t,
+                x: VarId::new(self.frame_id("variable id")?),
+            },
+            2 => Op::Acquire {
+                t,
+                m: LockId::new(self.frame_id("lock id")?),
+            },
+            3 => Op::Release {
+                t,
+                m: LockId::new(self.frame_id("lock id")?),
+            },
+            4 => Op::Begin {
+                t,
+                l: Label::new(self.frame_id("label id")?),
+            },
+            5 => Op::End { t },
+            6 => Op::Fork {
+                t,
+                child: ThreadId::new(self.frame_id("thread id")?),
+            },
+            7 => Op::Join {
+                t,
+                child: ThreadId::new(self.frame_id("thread id")?),
+            },
+            other => {
+                return Err(TraceReadError::malformed(
+                    self.frame_base + self.frame_pos as u64 - 1,
+                    format!("unknown operation tag {other}"),
+                ))
+            }
+        })
+    }
+
+    /// Drains the remaining operations and assembles the [`Trace`],
+    /// validating the synthesized indices against the final operation
+    /// count.
+    pub fn read_to_trace(mut self) -> Result<Trace, TraceReadError> {
+        let mut ops = Vec::new();
+        while let Some(op) = self.next_op()? {
+            ops.push(op);
+        }
+        let offset = self.s.offset();
+        Trace::from_raw_parts(ops, self.names, self.synthesized)
+            .map_err(|reason| TraceReadError::malformed(offset, reason))
+    }
+}
+
+fn read_varint<R: Read>(s: &mut ByteStream<R>) -> Result<u64, TraceReadError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let Some(byte) = s.next_byte()? else {
+            return Err(TraceReadError::malformed(
+                s.offset(),
+                "unexpected end of input in varint",
+            ));
+        };
+        if shift >= 63 && byte > 1 {
+            return Err(TraceReadError::malformed(
+                s.offset(),
+                "varint overflows 64 bits",
+            ));
+        }
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceBuilder;
+
+    fn sample_trace() -> Trace {
+        let mut b = TraceBuilder::new();
+        b.begin("T1", "add").acquire("T1", "lock").read("T1", "v");
+        b.write("T2", "v");
+        b.release("T1", "lock").end("T1");
+        b.fork("T1", "T3").join("T1", "T3");
+        let mut t = b.finish();
+        t.mark_synthesized(5);
+        t.mark_synthesized(7);
+        t
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let trace = sample_trace();
+        let bytes = trace_to_vbt(&trace);
+        assert!(is_vbt(&bytes));
+        let back = read_vbt(&bytes[..]).unwrap();
+        assert_eq!(back.ops(), trace.ops());
+        assert_eq!(back.synthesized(), trace.synthesized());
+        assert_eq!(back.to_json(), trace.to_json());
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let trace = Trace::new();
+        let back = read_vbt(&trace_to_vbt(&trace)[..]).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn multi_frame_traces_roundtrip() {
+        let mut trace = Trace::new();
+        for i in 0..3 * FRAME_OPS + 17 {
+            trace.push(Op::Read {
+                t: ThreadId::new((i % 7) as u32),
+                x: VarId::new((i % 1000) as u32),
+            });
+        }
+        let back = read_vbt(&trace_to_vbt(&trace)[..]).unwrap();
+        assert_eq!(back.ops(), trace.ops());
+    }
+
+    #[test]
+    fn streaming_reader_yields_ops_in_order() {
+        let trace = sample_trace();
+        let bytes = trace_to_vbt(&trace);
+        let mut r = VbtReader::new(&bytes[..]).unwrap();
+        assert_eq!(r.names().lock(LockId::new(0)), "lock");
+        assert_eq!(r.synthesized(), trace.synthesized());
+        let mut i = 0;
+        while let Some(op) = r.next_op().unwrap() {
+            assert_eq!(trace.get(i), Some(op));
+            i += 1;
+        }
+        assert_eq!(i, trace.len());
+        assert_eq!(r.ops_read(), trace.len());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected_at_byte_0() {
+        let e = read_vbt(&b"JSON{\"ops\":[]}"[..]).unwrap_err();
+        assert!(e.is_malformed());
+        assert!(e.to_string().contains("byte 0"), "{e}");
+        assert!(e.to_string().contains("magic"), "{e}");
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut bytes = trace_to_vbt(&sample_trace());
+        bytes[4] = 9;
+        let e = read_vbt(&bytes[..]).unwrap_err();
+        assert!(e.to_string().contains("version 9"), "{e}");
+        assert!(e.to_string().contains("byte 4"), "{e}");
+    }
+
+    #[test]
+    fn truncation_anywhere_is_detected_with_an_offset() {
+        let bytes = trace_to_vbt(&sample_trace());
+        for cut in 0..bytes.len() - 1 {
+            let e = read_vbt(&bytes[..cut]).unwrap_err();
+            assert!(e.is_malformed(), "cut at {cut}: {e}");
+            assert!(e.to_string().contains("byte"), "cut at {cut}: {e}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = trace_to_vbt(&sample_trace());
+        bytes.push(0x42);
+        let e = read_vbt(&bytes[..]).unwrap_err();
+        assert!(e.to_string().contains("trailing data"), "{e}");
+    }
+
+    #[test]
+    fn string_table_overflow_is_rejected_not_allocated() {
+        // Header + a threads table claiming 2^30 entries.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(VERSION);
+        push_varint(&mut bytes, 1 << 30);
+        let e = read_vbt(&bytes[..]).unwrap_err();
+        assert!(e.to_string().contains("string-table overflow"), "{e}");
+
+        // A single entry whose name claims to be 2 GiB long.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(VERSION);
+        push_varint(&mut bytes, 1); // one thread entry
+        push_varint(&mut bytes, 0); // id 0
+        push_varint(&mut bytes, 2 << 30); // 2 GiB name
+        let e = read_vbt(&bytes[..]).unwrap_err();
+        assert!(e.to_string().contains("string-table overflow"), "{e}");
+    }
+
+    #[test]
+    fn oversized_frame_and_unknown_tag_are_rejected() {
+        let trace = sample_trace();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(VERSION);
+        for _ in 0..4 {
+            push_varint(&mut bytes, 0);
+        }
+        push_varint(&mut bytes, 0); // no synthesized indices
+        push_varint(&mut bytes, MAX_FRAME_LEN + 1);
+        let e = read_vbt(&bytes[..]).unwrap_err();
+        assert!(e.to_string().contains("exceeds"), "{e}");
+
+        // Corrupt the first op's tag by locating its known encoding.
+        let mut bytes = trace_to_vbt(&trace);
+        let first = {
+            let mut enc = Vec::new();
+            push_op(&mut enc, trace.get(0).unwrap());
+            enc
+        };
+        let pos = bytes
+            .windows(first.len())
+            .position(|w| w == first)
+            .expect("first op encoding present");
+        bytes[pos] = 0xEE;
+        let e = read_vbt(&bytes[..]).unwrap_err();
+        assert!(e.to_string().contains("unknown operation tag"), "{e}");
+    }
+
+    #[test]
+    fn synthesized_out_of_bounds_is_rejected() {
+        let mut trace = sample_trace();
+        trace.mark_synthesized(trace.len() - 1);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(VERSION);
+        for _ in 0..4 {
+            push_varint(&mut bytes, 0);
+        }
+        push_varint(&mut bytes, 1); // one synthesized index…
+        push_varint(&mut bytes, 10); // …pointing past the single op below
+        let mut body = Vec::new();
+        push_varint(&mut body, 1);
+        push_op(
+            &mut body,
+            Op::End {
+                t: ThreadId::new(0),
+            },
+        );
+        push_varint(&mut bytes, body.len() as u64);
+        bytes.extend_from_slice(&body);
+        bytes.push(0);
+        let e = read_vbt(&bytes[..]).unwrap_err();
+        assert!(e.to_string().contains("out of bounds"), "{e}");
+    }
+
+    #[test]
+    fn vbt_is_much_smaller_than_json() {
+        let trace = sample_trace();
+        let json = trace.to_json();
+        let vbt = trace_to_vbt(&trace);
+        assert!(
+            vbt.len() * 2 < json.len(),
+            "vbt {} bytes vs json {} bytes",
+            vbt.len(),
+            json.len()
+        );
+    }
+}

@@ -1,0 +1,200 @@
+//! Regression test: streaming JSON ingestion must hold bounded memory even
+//! for multi-hundred-megabyte traces.
+//!
+//! The old CLI path slurped the whole file into a `String` and then built a
+//! JSON value tree — roughly 3× the input size in peak heap. The streaming
+//! reader must instead hold only its fixed 64 KiB buffer (plus the symbol
+//! table). We assert this with an allocation counter rather than OS RSS,
+//! which is noisy and platform-dependent.
+//!
+//! This file intentionally contains a single test: a parallel test in the
+//! same process would pollute the allocator counters.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::io::Read;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Counts live heap bytes and tracks the high-water mark.
+struct CountingAlloc;
+
+static CURRENT: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            let cur = CURRENT.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(cur, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            if new_size >= layout.size() {
+                let cur = CURRENT.fetch_add(new_size - layout.size(), Ordering::Relaxed) + new_size
+                    - layout.size();
+                PEAK.fetch_max(cur, Ordering::Relaxed);
+            } else {
+                CURRENT.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+            }
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Procedurally generates the JSON text of an enormous trace, so the input
+/// itself never exists in memory either. The document is
+/// `{"ops":[...],"names":{...}}` with the ops section repeated to reach the
+/// requested size.
+struct SyntheticTraceJson {
+    /// Total ops to emit.
+    ops: usize,
+    /// Next op index to emit.
+    next: usize,
+    /// Leftover bytes of the current chunk.
+    pending: Vec<u8>,
+    pending_pos: usize,
+    state: State,
+}
+
+#[derive(PartialEq)]
+enum State {
+    Header,
+    Ops,
+    Footer,
+    Done,
+}
+
+impl SyntheticTraceJson {
+    fn new(ops: usize) -> Self {
+        Self {
+            ops,
+            next: 0,
+            pending: Vec::new(),
+            pending_pos: 0,
+            state: State::Header,
+        }
+    }
+
+    fn refill(&mut self) {
+        self.pending.clear();
+        self.pending_pos = 0;
+        match self.state {
+            State::Header => {
+                self.pending.extend_from_slice(b"{\"ops\":[");
+                self.state = State::Ops;
+            }
+            State::Ops => {
+                if self.next >= self.ops {
+                    self.state = State::Footer;
+                    self.refill();
+                    return;
+                }
+                // Emit up to 4096 ops per chunk.
+                let end = (self.next + 4096).min(self.ops);
+                for i in self.next..end {
+                    if i > 0 {
+                        self.pending.push(b',');
+                    }
+                    let t = i % 8;
+                    let x = i % 1000;
+                    if i % 2 == 0 {
+                        self.pending.extend_from_slice(
+                            format!("{{\"Read\":{{\"t\":{t},\"x\":{x}}}}}").as_bytes(),
+                        );
+                    } else {
+                        self.pending.extend_from_slice(
+                            format!("{{\"Write\":{{\"t\":{t},\"x\":{x}}}}}").as_bytes(),
+                        );
+                    }
+                }
+                self.next = end;
+            }
+            State::Footer => {
+                self.pending.extend_from_slice(
+                    b"],\"names\":{\"threads\":{\"0\":\"main\"},\"vars\":{},\"locks\":{},\"labels\":{}}}",
+                );
+                self.state = State::Done;
+            }
+            State::Done => {}
+        }
+    }
+}
+
+impl Read for SyntheticTraceJson {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pending_pos >= self.pending.len() {
+            if self.state == State::Done {
+                return Ok(0);
+            }
+            self.refill();
+            if self.pending.is_empty() && self.state == State::Done {
+                return Ok(0);
+            }
+        }
+        let n = (self.pending.len() - self.pending_pos).min(buf.len());
+        buf[..n].copy_from_slice(&self.pending[self.pending_pos..self.pending_pos + n]);
+        self.pending_pos += n;
+        Ok(n)
+    }
+}
+
+#[test]
+fn scan_holds_bounded_memory_on_a_multi_hundred_mb_trace() {
+    // ~8.4M ops at ~26 bytes each ≈ 220 MB of JSON text.
+    const OPS: usize = 8_400_000;
+
+    // Count the bytes the generator actually produces, to prove the input
+    // really was multi-hundred-MB.
+    struct Counted<R> {
+        inner: R,
+        bytes: u64,
+    }
+    impl<R: Read> Read for Counted<R> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = self.inner.read(buf)?;
+            self.bytes += n as u64;
+            Ok(n)
+        }
+    }
+
+    let mut src = Counted {
+        inner: SyntheticTraceJson::new(OPS),
+        bytes: 0,
+    };
+
+    let before = CURRENT.load(Ordering::Relaxed);
+    PEAK.store(before, Ordering::Relaxed);
+
+    let mut count = 0usize;
+    let summary = velodrome_events::scan_json_trace(&mut src, |_, _| count += 1)
+        .expect("synthetic trace parses");
+
+    let peak_delta = PEAK.load(Ordering::Relaxed).saturating_sub(before);
+
+    assert_eq!(count, OPS);
+    assert_eq!(summary.ops, OPS);
+    assert!(
+        src.bytes >= 200 << 20,
+        "input was only {} bytes — not a multi-hundred-MB trace",
+        src.bytes
+    );
+    // 64 KiB stream buffer + generator chunk (~100 KiB) + symbol table.
+    // Anything over 4 MiB means the parser is accumulating input.
+    assert!(
+        peak_delta < 4 << 20,
+        "peak allocation grew by {peak_delta} bytes while streaming {} bytes",
+        src.bytes
+    );
+}

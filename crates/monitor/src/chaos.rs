@@ -256,13 +256,7 @@ pub fn run_plan<T: Tool>(trace: &Trace, mut tool: T, plan: &FaultPlan) -> ChaosR
             if let Ok(salvaged) = catch_unwind(AssertUnwindSafe(|| tool.take_warnings())) {
                 warnings.extend(salvaged);
             }
-            let message = if let Some(s) = payload.downcast_ref::<String>() {
-                s.clone()
-            } else if let Some(s) = payload.downcast_ref::<&str>() {
-                (*s).to_owned()
-            } else {
-                "non-string panic payload".to_owned()
-            };
+            let message = crate::isolate::panic_message(payload.as_ref()).to_owned();
             warnings.push(Warning {
                 tool: "chaos",
                 category: WarningCategory::Degraded,

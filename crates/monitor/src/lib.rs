@@ -25,11 +25,15 @@
 //!   ladder the runtime steps down when a cap trips;
 //! * [`chaos`] — declarative [`chaos::FaultPlan`] fault injection plus a
 //!   panic-isolating offline replay driver, used by the chaos test suite
-//!   and the `chaos` benchmark binary.
+//!   and the `chaos` benchmark binary;
+//! * [`isolate`] — the shared panic-isolation primitives
+//!   ([`isolate::run_isolated`], [`isolate::panic_message`]) behind both of
+//!   the above and the CLI's batch runner.
 
 pub mod budget;
 pub mod chaos;
 pub mod filter;
+pub mod isolate;
 pub mod shim;
 pub mod spec;
 pub mod tool;

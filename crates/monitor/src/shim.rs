@@ -272,17 +272,7 @@ pub struct Runtime {
     state: Arc<Mutex<RuntimeState>>,
 }
 
-/// Renders a panic payload (the `Box<dyn Any>` from `catch_unwind`) as a
-/// human-readable message.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        s
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s
-    } else {
-        "non-string panic payload"
-    }
-}
+use crate::isolate::panic_message;
 
 impl Runtime {
     fn with_tool(tool: Option<Box<dyn Tool + Send>>, budget: ResourceBudget) -> Self {

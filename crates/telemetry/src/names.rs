@@ -6,9 +6,10 @@
 //! `engine` (the Velodrome analysis), `aerodrome` (the vector-clock
 //! atomicity screen), `hybrid` (the two-tier screen-then-diagnose
 //! checker), `watchdog` (the adversarial scheduler's pause watchdog),
-//! `runtime` (the live-monitoring shim), and `phase` (hot-path span
-//! timers). Renaming an entry here is a breaking change to the exported
-//! JSONL schema — add, don't rename.
+//! `runtime` (the live-monitoring shim), `batch` (the parallel
+//! `check-batch` runner), and `phase` (hot-path span timers). Renaming an
+//! entry here is a breaking change to the exported JSONL schema — add,
+//! don't rename.
 
 /// Total transaction nodes ever allocated (Table 1 "Allocated").
 pub const ARENA_ALLOCATED: &str = "arena.allocated";
@@ -95,6 +96,21 @@ pub const RUNTIME_DEGRADATIONS: &str = "runtime.degradations";
 pub const RUNTIME_SYNTHESIZED_EVENTS: &str = "runtime.synthesized_events";
 /// Current rung of the runtime's degradation ladder.
 pub const RUNTIME_LADDER: &str = "runtime.ladder";
+
+/// Traces whose analysis completed (whatever the verdict).
+pub const BATCH_TRACES_CHECKED: &str = "batch.traces_checked";
+/// Traces that failed to load or analyze (I/O or malformed input).
+pub const BATCH_TRACES_FAILED: &str = "batch.traces_failed";
+/// Traces quarantined because their analysis panicked.
+pub const BATCH_TRACES_QUARANTINED: &str = "batch.traces_quarantined";
+/// Total operations across all successfully checked traces.
+pub const BATCH_EVENTS_TOTAL: &str = "batch.events_total";
+/// Aggregate throughput of the batch, in events per second of wall time.
+pub const BATCH_EVENTS_PER_SEC: &str = "batch.events_per_sec";
+/// Atomicity warnings reported across all checked traces.
+pub const BATCH_WARNINGS_TOTAL: &str = "batch.warnings_total";
+/// Size of the worker pool the batch ran with.
+pub const BATCH_JOBS: &str = "batch.jobs";
 
 /// Span timer around `Velodrome::advance` (one span per operation that
 /// reaches the happens-before machinery).

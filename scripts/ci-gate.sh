@@ -3,9 +3,9 @@
 # missing docs on public items), and the full test suite.
 #
 # Usage: scripts/ci-gate.sh [--with-bench]
-#   --with-bench  also run the hotpath benchmark binary, which asserts
-#                 optimized/baseline output identity and the >=30%
-#                 edge-reduction floor, and rewrites BENCH_hotpath.json.
+#   --with-bench  also run the hotpath and batch benchmark binaries, which
+#                 assert output identity (and the >=30% edge-reduction
+#                 floor), rewriting BENCH_hotpath.json and BENCH_batch.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,6 +14,9 @@ cargo fmt --all -- --check
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo doc --no-deps (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 
 echo "==> cargo test"
 cargo test -q
@@ -63,6 +66,32 @@ for name in aerodrome.joins hybrid.escalations; do
     fi
 done
 
+echo "==> batch smoke (fixed-seed corpus, JSONL schema + batch.* gauges)"
+mkdir -p "$tmp/batch"
+cargo run --release -q -p velodrome-cli -- record multiset --seed=1 --scale=2 \
+    --out="$tmp/batch/a.json" >/dev/null
+cargo run --release -q -p velodrome-cli -- record multiset --seed=2 --scale=2 \
+    --out="$tmp/batch/b.json" >/dev/null
+cargo run --release -q -p velodrome-cli -- convert "$tmp/batch/a.json" "$tmp/batch/a.vbt" >/dev/null
+cargo run --release -q -p velodrome-cli -- check-batch "$tmp/batch" --jobs=4 \
+    --backend=velodrome-hybrid --report="$tmp/batch/report.jsonl" \
+    --metrics-out="$tmp/batch/metrics.jsonl" >/dev/null
+if [[ "$(wc -l < "$tmp/batch/report.jsonl")" -ne 4 ]]; then
+    echo "batch smoke: expected 4 JSONL lines (3 traces + summary)" >&2
+    cat "$tmp/batch/report.jsonl" >&2
+    exit 1
+fi
+for field in '"path"' '"status":"ok"' '"warnings"' '"summary"' '"events_per_sec"'; do
+    if ! grep -q "$field" "$tmp/batch/report.jsonl"; then
+        echo "batch smoke: JSONL report is missing $field" >&2
+        cat "$tmp/batch/report.jsonl" >&2
+        exit 1
+    fi
+done
+cargo run --release -q -p velodrome-cli -- metrics-verify "$tmp/batch/metrics.jsonl" \
+    --require=batch.traces_checked,batch.traces_failed,batch.traces_quarantined,batch.events_total,batch.events_per_sec,batch.warnings_total,batch.jobs \
+    >/dev/null
+
 echo "==> cross-backend differential suite + conformance corpus (fixed seeds)"
 cargo test -q -p velodrome-integration --test atomicity_differential >/dev/null
 cargo test -q -p velodrome-integration --test corpus_conformance >/dev/null
@@ -83,9 +112,29 @@ else
     echo "    (no BENCH_hotpath.json checked in; run with --with-bench to generate)"
 fi
 
+echo "==> BENCH_batch.json carries the documented fields"
+if [[ -f BENCH_batch.json ]]; then
+    for field in corpus_traces corpus_events seed jobs backend json_bytes vbt_bytes \
+                 json_serial_millis json_serial_events_per_sec vbt_parallel_millis \
+                 vbt_parallel_events_per_sec speedup outputs_identical; do
+        if ! grep -q "\"$field\"" BENCH_batch.json; then
+            echo "BENCH_batch.json is missing documented field: $field" >&2
+            exit 1
+        fi
+    done
+    if ! grep -q '"outputs_identical": true' BENCH_batch.json; then
+        echo "BENCH_batch.json: parallel and serial outputs were not identical" >&2
+        exit 1
+    fi
+else
+    echo "    (no BENCH_batch.json checked in; run with --with-bench to generate)"
+fi
+
 if [[ "${1:-}" == "--with-bench" ]]; then
     echo "==> hotpath benchmark (asserts output identity + elision floor)"
     cargo run --release -p velodrome-bench --bin hotpath >/dev/null
+    echo "==> batch benchmark (asserts output identity, rewrites BENCH_batch.json)"
+    cargo run --release -p velodrome-bench --bin batch >/dev/null
 fi
 
 echo "==> CI gate passed"

@@ -1,9 +1,11 @@
 //! Golden conformance corpus: ~20 recorded traces with expected verdicts,
 //! replayed across every velodrome-family backend in one test.
 //!
-//! Each corpus entry is a pair of files in `tests/corpus/`:
+//! Each corpus entry is a trio of files in `tests/corpus/`:
 //!
 //! * `<name>.trace.json` — the recorded trace ([`Trace::to_json`]);
+//! * `<name>.trace.vbt` — the same trace in the binary VBT format (the
+//!   `batch` integration suite checks the twins verdict-identical);
 //! * `<name>.expect.json` — the expected outcome: the oracle verdict, the
 //!   warning count, the blamed transaction labels, and whether the hybrid
 //!   checker's vector-clock screen escalated (pinning the screen's
@@ -376,7 +378,13 @@ fn corpus_replays_identically_across_backends() {
     // known program (catches renamed entries whose old files linger).
     let known: BTreeSet<String> = programs
         .iter()
-        .flat_map(|(name, _)| [format!("{name}.trace.json"), format!("{name}.expect.json")])
+        .flat_map(|(name, _)| {
+            [
+                format!("{name}.trace.json"),
+                format!("{name}.trace.vbt"),
+                format!("{name}.expect.json"),
+            ]
+        })
         .collect();
     for entry in std::fs::read_dir(&dir).expect("corpus dir exists") {
         let file = entry.unwrap().file_name().to_string_lossy().into_owned();
@@ -401,6 +409,11 @@ fn regenerate_corpus() {
         assert_eq!(semantics::validate(&trace), Ok(()), "{name}: ill-formed");
         std::fs::write(dir.join(format!("{name}.trace.json")), trace.to_json())
             .expect("write trace");
+        std::fs::write(
+            dir.join(format!("{name}.trace.vbt")),
+            velodrome_events::vbt::trace_to_vbt(&trace),
+        )
+        .expect("write vbt twin");
         std::fs::write(dir.join(format!("{name}.expect.json")), expectation(&trace))
             .expect("write expect");
     }
